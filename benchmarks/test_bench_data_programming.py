@@ -1,0 +1,92 @@
+"""E7 -- ablation: data programming supplies the training corpus.
+
+Claim (section 2.4): large annotated corpora are "expensive to obtain
+manually", so annotations are synthesized programmatically with data
+programming [11].
+
+Reproduction: sweep the number of (programmatically labelled) training
+reports and measure held-out F1.  Expected shape: F1 climbs steeply
+with corpus size and saturates -- demonstrating that extraction quality
+is bought with *synthesized* labels, at zero annotation cost.  The
+label model's estimated LF accuracies are reported alongside.
+"""
+
+import random
+
+from conftest import record_result
+
+from repro.nlp import EntityRecognizer, evaluate_entities
+from repro.nlp.labeling import synthesize_corpus
+from repro.nlp.tokenize import tokenize_sentences
+from repro.websim.scenario import generate_report_content, make_scenarios
+
+
+def training_texts(n_reports: int):
+    scenarios = make_scenarios(max(1, n_reports // 2), seed=11, known_only=True)
+    texts = []
+    for scenario in scenarios:
+        for k in range(2):
+            if len(texts) >= n_reports:
+                break
+            content = generate_report_content(
+                scenario,
+                random.Random(f"{scenario.scenario_id}-{k}"),
+                sentence_count=8,
+            )
+            texts.append(" ".join(gs.text for gs in content.truth.sentences))
+    return texts
+
+
+def heldout_f1(recognizer, contents):
+    predicted, gold = [], []
+    for content in contents:
+        text = " ".join(gs.text for gs in content.truth.sentences)
+        _s, mentions = recognizer.extract(text)
+        predicted += [(m.text, m.type) for m in mentions]
+        gold += [
+            (m.text, m.type) for gs in content.truth.sentences for m in gs.mentions
+        ]
+    return evaluate_entities(predicted, gold).micro.f1
+
+
+def test_bench_data_programming(benchmark, heldout_contents):
+    sweep = (5, 10, 20, 40, 80)
+    series = []
+    for n_reports in sweep:
+        texts = training_texts(n_reports)
+        recognizer = EntityRecognizer.train(texts, max_iterations=60)
+        f1 = heldout_f1(recognizer, heldout_contents)
+        series.append({"training_reports": len(texts), "f1": round(f1, 3)})
+
+    # label-model diagnostics on a mid-sized corpus
+    sentences = []
+    for text in training_texts(20):
+        sentences.extend(s.tokens for s in tokenize_sentences(text))
+    _corpus, diagnostics = benchmark.pedantic(
+        synthesize_corpus, args=(sentences,), rounds=1, iterations=1
+    )
+
+    print("\nE7: data-programming training-set sweep (zero manual labels)")
+    print(f"  {'training reports':>17} {'held-out F1':>12}")
+    for row in series:
+        print(f"  {row['training_reports']:>17} {row['f1']:>12}")
+    print("  estimated labeling-function accuracies "
+          "(agreement-based, no gold):")
+    for name, accuracy in sorted(diagnostics.lf_accuracies.items()):
+        print(f"    {name:<28} {accuracy:.2f}")
+    print(f"  token coverage of LF votes: {diagnostics.coverage:.3f}")
+
+    record_result(
+        "E7",
+        {
+            "series": series,
+            "lf_accuracies": {
+                k: round(v, 3) for k, v in diagnostics.lf_accuracies.items()
+            },
+            "coverage": round(diagnostics.coverage, 3),
+        },
+    )
+    assert series[-1]["f1"] > 0.9
+    assert series[-1]["f1"] > series[0]["f1"]
+    # saturation: the last doubling buys little
+    assert series[-1]["f1"] - series[-2]["f1"] < 0.1

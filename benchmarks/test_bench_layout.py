@@ -1,0 +1,121 @@
+"""E11 -- Barnes-Hut layout (paper section 2.6).
+
+Claim: the UI prevents node overlap "through an automatic graph layout
+using the Barnes-Hut algorithm, which calculates the nodes'
+approximated repulsive force based on their distribution".
+
+Reproduction: lay out graphs of growing size with Barnes-Hut vs exact
+O(n^2) repulsion.  Expected shape: per-step cost grows ~quadratically
+for exact and ~n log n for Barnes-Hut (the crossover appears by a few
+hundred nodes), with equal layout quality (zero overlaps) and bounded
+force-approximation error.
+"""
+
+import math
+import random
+import time
+
+from conftest import record_result
+
+from repro.ui.layout import ForceLayout, LayoutConfig
+from repro.ui.quadtree import Body, QuadTree, exact_repulsion
+
+
+def random_graph(n, seed=1):
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    edges = [(i, rng.randrange(0, max(1, i))) for i in range(1, n)]
+    extra = [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(n // 2)
+    ]
+    return nodes, edges + [e for e in extra if e[0] != e[1]]
+
+
+def layout_steps_per_second(n, use_bh, steps=5):
+    nodes, edges = random_graph(n)
+    layout = ForceLayout(
+        config=LayoutConfig(width=2000, height=2000), use_barnes_hut=use_bh
+    )
+    for node in nodes:
+        layout.add_node(node)
+    layout.set_edges(edges)
+    started = time.perf_counter()
+    for _ in range(steps):
+        layout.step()
+    return steps / (time.perf_counter() - started)
+
+
+def test_bench_layout_barnes_hut(benchmark):
+    sizes = (50, 100, 200, 400, 800)
+    series = []
+    for n in sizes:
+        bh = layout_steps_per_second(n, use_bh=True)
+        exact = layout_steps_per_second(n, use_bh=False)
+        series.append(
+            {
+                "nodes": n,
+                "bh_steps_per_s": round(bh, 1),
+                "exact_steps_per_s": round(exact, 1),
+                "speedup": round(bh / exact, 2),
+            }
+        )
+
+    benchmark.pedantic(
+        layout_steps_per_second, args=(400, True), rounds=1, iterations=1
+    )
+
+    # force-approximation error at theta=0.7
+    rng = random.Random(7)
+    bodies = [
+        Body(rng.uniform(0, 1000), rng.uniform(0, 1000), key=i) for i in range(300)
+    ]
+    tree = QuadTree.build(bodies, theta=0.7)
+    errors = []
+    for body in bodies[:40]:
+        approx = tree.force_on(body, strength=100.0)
+        exact = exact_repulsion(bodies, body, strength=100.0)
+        scale = math.hypot(*exact) or 1.0
+        errors.append(math.hypot(approx[0] - exact[0], approx[1] - exact[1]) / scale)
+    mean_error = sum(errors) / len(errors)
+
+    # layout quality: no overlaps on a mid-sized graph (longer anneal
+    # with a hotter schedule, as an interactive canvas would run)
+    nodes, edges = random_graph(150)
+    layout = ForceLayout(
+        config=LayoutConfig(
+            width=3000,
+            height=3000,
+            repulsion=3000,
+            ideal_edge_length=120,
+            initial_temperature=120,
+            cooling=0.97,
+        )
+    )
+    for node in nodes:
+        layout.add_node(node)
+    layout.set_edges(edges)
+    layout.run(iterations=300, tolerance=0.5)
+    overlaps = layout.overlap_count()
+
+    print("\nE11: Barnes-Hut vs exact repulsion")
+    print(f"  {'nodes':>6} {'BH steps/s':>11} {'exact steps/s':>14} {'speedup':>8}")
+    for row in series:
+        print(
+            f"  {row['nodes']:>6} {row['bh_steps_per_s']:>11} "
+            f"{row['exact_steps_per_s']:>14} {row['speedup']:>8}"
+        )
+    print(f"  mean force-approximation error (theta=0.7): {mean_error:.3f}")
+    print(f"  node overlaps after layout (150 nodes): {overlaps}")
+
+    record_result(
+        "E11",
+        {
+            "series": series,
+            "mean_force_error": round(mean_error, 4),
+            "overlaps_after_layout": overlaps,
+        },
+    )
+    assert series[-1]["speedup"] > 2.0, "BH must win clearly at 800 nodes"
+    assert series[-1]["speedup"] > series[0]["speedup"]
+    assert mean_error < 0.1
+    assert overlaps == 0

@@ -1,0 +1,89 @@
+"""E5 -- relation-extraction quality (paper section 2.4).
+
+Claim: the dependency-parsing-based relation extractor, extended to
+relation verbs between CRF-recognised entities, contributes to the
+"> 92% F1" extractor accuracy.
+
+Reproduction: run the full pipeline (CRF mentions -> shallow
+dependency parse -> SVO triples with ontology filtering) on held-out
+reports and score triples against the generator's gold relations.
+Also reported: the extractor with *gold* entity spans, isolating
+relation-extraction quality from NER noise.
+"""
+
+from conftest import record_result
+
+from repro.nlp import evaluate_relations
+from repro.nlp.ner import EntitySpan
+from repro.nlp.relation import RelationExtractor
+from repro.nlp.tokenize import tokenize_sentences
+
+
+def spans_from_gold(tokens, sentence):
+    spans = []
+    for mention in sentence.mentions:
+        start = end = None
+        for i, token in enumerate(tokens):
+            if token.end > mention.start and token.start < mention.end:
+                if start is None:
+                    start = i
+                end = i + 1
+        if start is not None:
+            spans.append(EntitySpan(start, end, mention.type, mention.text))
+    return spans
+
+
+def test_bench_relation_f1(benchmark, trained_crf, heldout_contents):
+    extractor = RelationExtractor()
+
+    def run(use_gold_spans: bool):
+        predicted, gold = [], []
+        for content in heldout_contents:
+            for sentence in content.truth.sentences:
+                parsed = tokenize_sentences(sentence.text)
+                if not parsed:
+                    continue
+                tokens = parsed[0].tokens
+                if use_gold_spans:
+                    relations = extractor.extract(
+                        tokens, spans_from_gold(tokens, sentence)
+                    )
+                else:
+                    _s, mentions = trained_crf.extract(sentence.text)
+                    relations = extractor.extract_with_mentions(tokens, mentions, 0)
+                predicted += [(r.head_text, r.verb, r.tail_text) for r in relations]
+                gold += [(r.head_text, r.verb, r.tail_text) for r in sentence.relations]
+        return evaluate_relations(predicted, gold), len(predicted), len(gold)
+
+    gold_spans_prf, _p1, _g1 = run(use_gold_spans=True)
+    end_to_end_prf, n_pred, n_gold = benchmark.pedantic(
+        run, args=(False,), rounds=1, iterations=1
+    )
+
+    print("\nE5: relation extraction on held-out reports")
+    print(f"  {'setting':<22} {'P':>6} {'R':>6} {'F1':>6}")
+    for name, prf in (
+        ("gold entity spans", gold_spans_prf),
+        ("end-to-end (CRF NER)", end_to_end_prf),
+    ):
+        print(f"  {name:<22} {prf.precision:>6.3f} {prf.recall:>6.3f} {prf.f1:>6.3f}")
+    print(f"  triples: {n_pred} predicted vs {n_gold} gold")
+    print("  paper claim: extractors > 92% F1 overall")
+
+    record_result(
+        "E5",
+        {
+            "gold_spans": {
+                "precision": round(gold_spans_prf.precision, 3),
+                "recall": round(gold_spans_prf.recall, 3),
+                "f1": round(gold_spans_prf.f1, 3),
+            },
+            "end_to_end": {
+                "precision": round(end_to_end_prf.precision, 3),
+                "recall": round(end_to_end_prf.recall, 3),
+                "f1": round(end_to_end_prf.f1, 3),
+            },
+        },
+    )
+    assert end_to_end_prf.f1 > 0.92
+    assert gold_spans_prf.f1 >= end_to_end_prf.f1 - 0.05

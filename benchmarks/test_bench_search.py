@@ -1,0 +1,82 @@
+"""E10 -- the two search paths of the UI (paper section 2.6).
+
+Claim: "the user can search information using keywords (through
+Elasticsearch) or Cypher queries (through Neo4j Cypher engine)".
+
+Reproduction: over an ingested corpus, measure keyword-search quality
+(does the top hit actually concern the queried threat?) and latency,
+and Cypher query latency across representative query shapes.
+"""
+
+import time
+
+from conftest import record_result
+
+from repro import SecurityKG, SystemConfig
+
+
+def test_bench_search_paths(benchmark):
+    kg = SecurityKG(
+        SystemConfig(
+            scenario_count=20, reports_per_site=6, connectors=["graph", "search"]
+        )
+    )
+    kg.run_once()
+
+    malware_names = [
+        str(n.properties["name"]) for n in kg.graph.nodes("Malware")
+    ]
+
+    # keyword relevance: for each malware, does the top report mention it?
+    relevant = 0
+    latencies = []
+    for name in malware_names:
+        started = time.perf_counter()
+        hits = kg.keyword_search(name, limit=5)
+        latencies.append(time.perf_counter() - started)
+        top_text = " ".join(hits[0].fields.values()).lower() if hits else ""
+        if name.lower() in top_text:
+            relevant += 1
+    precision_at_1 = relevant / len(malware_names)
+    keyword_ms = 1000 * sum(latencies) / len(latencies)
+
+    benchmark.pedantic(
+        kg.keyword_search, args=(malware_names[0],), rounds=10, iterations=1
+    )
+
+    cypher_queries = [
+        f'match (n) where n.name = "{malware_names[0]}" return n',
+        "MATCH (m:Malware)-[:CONNECTS_TO]->(x) RETURN m.name, x.name",
+        "MATCH (a:ThreatActor)-[:USES]->(t:Technique) "
+        "RETURN a.name, count(t) AS c ORDER BY c DESC LIMIT 5",
+        "MATCH (m:Malware)-[:ATTRIBUTED_TO]->(a)-[:USES]->(t) RETURN m.name, t.name",
+    ]
+    cypher_rows = []
+    for query in cypher_queries:
+        started = time.perf_counter()
+        rows = kg.cypher(query)
+        elapsed_ms = 1000 * (time.perf_counter() - started)
+        cypher_rows.append(
+            {"query": query[:60], "rows": len(rows), "ms": round(elapsed_ms, 2)}
+        )
+
+    print("\nE10: keyword search (Elasticsearch path) + Cypher (Neo4j path)")
+    print(
+        f"  keyword: precision@1 {precision_at_1:.2f} over "
+        f"{len(malware_names)} threat queries, mean latency {keyword_ms:.2f} ms"
+    )
+    print(f"  {'cypher query':<62} {'rows':>5} {'ms':>8}")
+    for row in cypher_rows:
+        print(f"  {row['query']:<62} {row['rows']:>5} {row['ms']:>8}")
+
+    record_result(
+        "E10",
+        {
+            "keyword_precision_at_1": round(precision_at_1, 3),
+            "keyword_mean_ms": round(keyword_ms, 3),
+            "cypher": cypher_rows,
+        },
+    )
+    assert precision_at_1 >= 0.9
+    assert keyword_ms < 100
+    assert all(row["rows"] > 0 for row in cypher_rows)

@@ -1,0 +1,73 @@
+"""Continuous gathering: periodic crawls, incremental growth, fusion.
+
+The paper's system "updates the knowledge graph by continuously
+ingesting new data" with a crawler framework that handles "periodic
+execution and reboot after failure".  This example runs several
+scheduled collection cycles against a web whose sites keep publishing,
+with transport failures injected, and tracks how the knowledge graph
+grows.
+
+Run:  python examples/continuous_collection.py
+"""
+
+from repro import SecurityKG, SystemConfig
+from repro.apps import GrowthTracker
+from repro.crawlers import JobSpec, PeriodicScheduler
+
+
+def main() -> None:
+    # Start with a small archive; between cycles every site publishes
+    # three new reports (URLs of existing reports stay stable, so the
+    # incremental crawl state skips them).
+    cycles = 4
+    config = SystemConfig(
+        scenario_count=12,
+        reports_per_site=3,
+        failure_rate=0.15,  # transient 5xx / resets; the fetcher retries
+        connectors=["graph", "search"],
+    )
+    kg = SecurityKG(config)
+    tracker = GrowthTracker(kg.graph)
+    state = {"first": True}
+
+    def collect_cycle():
+        if state["first"]:
+            state["first"] = False
+        else:
+            kg.web.publish_everywhere(3)
+        report = kg.run_once()
+        point = tracker.record(report.reports_stored)
+        print(
+            f"  cycle: +{report.reports_stored} new reports "
+            f"(crawl {report.crawl.elapsed:.2f}s, "
+            f"{len(report.crawl.errors)} fetch failures) "
+            f"-> graph {point.nodes} nodes / {point.edges} edges"
+        )
+        return report
+
+    print("== periodic collection (4 cycles, 15% transport failures) ==")
+    scheduler = PeriodicScheduler(
+        [JobSpec(name="collect", run=collect_cycle, max_restarts=2)],
+        interval=0.0,
+    )
+    scheduler.run_cycles(cycles=cycles)
+    print(f"scheduler: {scheduler.stats.runs} runs, "
+          f"{scheduler.stats.reboots} reboots, "
+          f"{scheduler.stats.failures} permanent failures")
+
+    print("\n== knowledge-graph growth ==")
+    print(f"  {'reports':>8} {'nodes':>7} {'edges':>7}")
+    for reports, nodes, edges in tracker.series():
+        print(f"  {reports:>8} {nodes:>7} {edges:>7}")
+
+    print("\n== periodic knowledge fusion ==")
+    fusion = kg.run_fusion()
+    print(f"  merged {fusion.groups_merged} alias groups; "
+          f"{fusion.nodes_before} -> {fusion.nodes_after} nodes")
+
+    print("\nthe graph keeps growing as sources publish; re-crawls skip "
+          "everything already collected (incremental state).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Serve the knowledge graph over the JSON API and drive it as a client.
+
+Starts the explorer HTTP server (the endpoint a React canvas client
+would consume) and exercises every interaction over real HTTP:
+search-and-focus, expansion, dragging, collapse, back, random
+subgraph, Cypher.
+
+Run:  python examples/explore_server.py
+"""
+
+import json
+import urllib.request
+
+from repro import SecurityKG, SystemConfig
+from repro.ui import ExplorerAPI, ExplorerServer
+
+
+def call(base: str, method: str, path: str, body: dict | None = None) -> dict:
+    url = base + path
+    if method == "GET":
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return json.loads(response.read())
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body or {}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    kg = SecurityKG(SystemConfig(scenario_count=12, reports_per_site=4))
+    kg.run_once()
+    server = ExplorerServer(ExplorerAPI(kg)).start()
+    host, port = server.address
+    base = f"http://{host}:{port}"
+    print(f"explorer API listening on {base}")
+
+    try:
+        stats = call(base, "GET", "/api/stats")
+        print(f"graph: {stats['nodes']} nodes / {stats['edges']} edges")
+
+        malware = max(
+            kg.graph.nodes("Malware"), key=lambda n: kg.graph.degree(n.node_id)
+        )
+        name = malware.properties["name"]
+
+        print(f"\nPOST /api/search {{query: {name!r}}}")
+        result = call(base, "POST", "/api/search", {"query": name})
+        print(f"  {len(result['reports'])} reports, "
+              f"view focused on {len(result['view']['nodes'])} node(s)")
+
+        focus_id = result["view"]["nodes"][0]["id"]
+        print(f"\nPOST /api/expand {{id: {focus_id}}}  (double-click)")
+        result = call(base, "POST", "/api/expand", {"id": focus_id})
+        print(f"  spawned {len(result['spawned'])} neighbours; "
+              f"view: {len(result['view']['nodes'])} nodes")
+        for node in result["view"]["nodes"][:6]:
+            print(f"    ({node['x']:7.1f},{node['y']:7.1f}) "
+                  f"{node['label']:<14} {node['name']}")
+
+        target = result["view"]["nodes"][1]["id"]
+        print(f"\nPOST /api/drag {{id: {target}, x: 10, y: 10}}")
+        result = call(base, "POST", "/api/drag", {"id": target, "x": 10, "y": 10})
+        pinned = [n["id"] for n in result["view"]["nodes"] if n["pinned"]]
+        print(f"  pinned nodes: {pinned}")
+
+        print(f"\nPOST /api/collapse {{id: {focus_id}}}")
+        result = call(base, "POST", "/api/collapse", {"id": focus_id})
+        print(f"  hid {len(result['hidden'])} nodes")
+
+        print("\nPOST /api/back")
+        result = call(base, "POST", "/api/back", {})
+        print(f"  view restored to {len(result['view']['nodes'])} nodes")
+
+        print("\nPOST /api/random {size: 8}")
+        result = call(base, "POST", "/api/random", {"size": 8, "seed": 1})
+        print(f"  random subgraph: {len(result['view']['nodes'])} nodes")
+
+        print("\nPOST /api/cypher")
+        result = call(
+            base,
+            "POST",
+            "/api/cypher",
+            {"query": f'match (n) where n.name = "{name}" return n'},
+        )
+        print(f"  rows: {len(result['rows'])}; "
+              f"first: {result['rows'][0]['n']['properties']['name']!r}")
+    finally:
+        server.stop()
+        print("\nserver stopped")
+
+
+if __name__ == "__main__":
+    main()

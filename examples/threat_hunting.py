@@ -1,0 +1,73 @@
+"""Knowledge-enhanced threat protection (the paper's future work).
+
+Connects the knowledge graph to system-audit-based threat protection:
+build the KG from collected reports, simulate an enterprise audit
+stream containing intrusions whose artifacts the reports disclosed,
+and hunt.  The comparison at the end shows what the *graph* adds over
+a flat indicator feed: attribution, incident correlation, coincidence
+suppression, and a hunt-forward list.
+
+Run:  python examples/threat_hunting.py
+"""
+
+from repro import SecurityKG, SystemConfig
+from repro.apps.threat_hunting import IocFeedHunter, ThreatHunter
+from repro.audit import simulate
+
+
+def main() -> None:
+    print("== building the knowledge graph from collected OSCTI ==")
+    kg = SecurityKG(
+        SystemConfig(scenario_count=12, reports_per_site=4, connectors=["graph"])
+    )
+    report = kg.run_once()
+    print(f"ingested {report.reports_stored} reports -> "
+          f"{kg.graph.node_count} nodes / {kg.graph.edge_count} edges")
+
+    print("\n== simulating an enterprise audit stream ==")
+    log = simulate(
+        kg.web.scenarios,
+        attacks=3,
+        benign_events=500,
+        contamination_per_scenario=2,
+    )
+    attacks = len(log.attack_event_ids)
+    print(f"{len(log.entries)} audit events on 12 hosts; "
+          f"{attacks} belong to 3 real intrusions; a few benign events "
+          "coincidentally touch known-bad infrastructure")
+
+    print("\n== knowledge-enhanced hunt ==")
+    hunter = ThreatHunter(kg.graph)
+    incidents = hunter.hunt(log.events)
+    confirmed = [i for i in incidents if i.confirmed]
+    suspected = [i for i in incidents if not i.confirmed]
+    for incident in confirmed:
+        print(incident.summary())
+        print()
+    print(f"({len(suspected)} single-indicator suspicions left unconfirmed "
+          "-- the coincidental matches)")
+
+    detected = {
+        a.event.event_id
+        for incident in confirmed
+        for a in incident.alerts
+    } & log.attack_event_ids
+    print(f"attack-event coverage by confirmed incidents: "
+          f"{len(detected)}/{attacks}")
+
+    print("\n== flat indicator feed, for comparison ==")
+    feed = IocFeedHunter.from_graph(kg.graph)
+    feed_alerts = feed.scan(log.events)
+    contaminated = sum(
+        1
+        for a in feed_alerts
+        if log.truth_for(a.event.event_id).label == "contaminated"
+    )
+    print(f"{len(feed_alerts)} undifferentiated alerts "
+          f"({contaminated} of them false positives from coincidental "
+          "matches), zero attribution, no incidents, no hunt-forward -- "
+          "every alert lands on an analyst's queue with equal weight")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Train the CRF extractor with data programming and evaluate it.
+
+Reproduces the paper's extraction methodology end to end: synthesize
+training annotations with labeling functions over curated entity lists
+(no manual labels), train the linear-chain CRF with IOC protection and
+lemma/POS/embedding features, then measure F1 on held-out reports that
+contain entity names absent from every curated list -- against the
+naive regex and gazetteer baselines the paper claims to beat.
+
+Run:  python examples/train_extractor.py          (about a minute)
+"""
+
+import random
+import time
+
+from repro.nlp import (
+    EntityRecognizer,
+    GazetteerRecognizer,
+    RegexRecognizer,
+    evaluate_entities,
+    evaluate_relations,
+)
+from repro.nlp.relation import RelationExtractor
+from repro.nlp.tokenize import tokenize_sentences
+from repro.websim.scenario import generate_report_content, make_scenarios
+
+
+def build_texts(scenarios, variants=3, tag=""):
+    texts = []
+    for scenario in scenarios:
+        for k in range(variants):
+            content = generate_report_content(
+                scenario,
+                random.Random(f"{tag}{scenario.scenario_id}-{k}"),
+                sentence_count=8,
+            )
+            texts.append(" ".join(gs.text for gs in content.truth.sentences))
+    return texts
+
+
+def main() -> None:
+    # training corpus: known-name scenarios (full gazetteer coverage)
+    train_texts = build_texts(make_scenarios(40, seed=11, known_only=True))
+    # test corpus: full name banks, ~25% of names unseen by any list
+    test_scenarios = make_scenarios(15, seed=99)
+    test_contents = [
+        generate_report_content(
+            s, random.Random(f"test-{s.scenario_id}"), sentence_count=8
+        )
+        for s in test_scenarios
+    ]
+
+    print(f"training CRF on {len(train_texts)} reports "
+          "(annotations synthesized by data programming)...")
+    started = time.time()
+    ner = EntityRecognizer.train(train_texts, max_iterations=80)
+    print(f"trained in {time.time() - started:.1f}s")
+
+    print("\n== entity recognition F1 on held-out reports ==")
+    for name, recognizer in (
+        ("CRF (this work)", ner),
+        ("gazetteer baseline", GazetteerRecognizer()),
+        ("regex baseline", RegexRecognizer()),
+    ):
+        predicted, gold = [], []
+        for content in test_contents:
+            text = " ".join(gs.text for gs in content.truth.sentences)
+            _sents, mentions = recognizer.extract(text)
+            predicted += [(m.text, m.type) for m in mentions]
+            gold += [
+                (m.text, m.type)
+                for gs in content.truth.sentences
+                for m in gs.mentions
+            ]
+        evaluation = evaluate_entities(predicted, gold)
+        print(
+            f"  {name:<22} micro-F1 {evaluation.micro.f1:.3f} "
+            f"(P {evaluation.micro.precision:.3f} / R {evaluation.micro.recall:.3f})"
+        )
+
+    print("\n== relation extraction F1 (dependency-based, unsupervised) ==")
+    extractor = RelationExtractor()
+    predicted, gold = [], []
+    for content in test_contents:
+        for gs in content.truth.sentences:
+            sentences = tokenize_sentences(gs.text)
+            if not sentences:
+                continue
+            _s, mentions = ner.extract(gs.text)
+            relations = extractor.extract_with_mentions(
+                sentences[0].tokens, mentions, 0
+            )
+            predicted += [(r.head_text, r.verb, r.tail_text) for r in relations]
+            gold += [(r.head_text, r.verb, r.tail_text) for r in gs.relations]
+    prf = evaluate_relations(predicted, gold)
+    print(f"  P {prf.precision:.3f} / R {prf.recall:.3f} / F1 {prf.f1:.3f}")
+    print("\n(the paper reports > 92% F1 for its extractors)")
+
+    print("\n== example extraction on an unseen-name sentence ==")
+    sentence = ("Once executed, zephyrlock drops a copy of itself as "
+                r"C:\Windows\Temp\zl.dll and connects to 45.83.20.11.")
+    print(f"  {sentence}")
+    _sents, mentions = ner.extract(sentence)
+    for mention in mentions:
+        print(f"    {mention.type.value:<10} {mention.text!r}  "
+              f"({mention.method}, conf {mention.confidence:.2f})")
+
+
+if __name__ == "__main__":
+    main()

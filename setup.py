@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools 65 without the ``wheel``
+package, so PEP 517 editable installs cannot build.  This shim lets
+``pip install -e . --no-use-pep517`` take the ``setup.py develop``
+path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SecurityKG reproduction: automated open-source threat "
+        "intelligence gathering and management (SIGMOD 2021 demo)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.nlp": ["data/*.txt"]},
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

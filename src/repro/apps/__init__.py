@@ -1,0 +1,17 @@
+"""Applications over the security knowledge graph."""
+
+from repro.apps.stats import GraphStats, GrowthTracker, compute_stats
+from repro.apps.threat_hunting import Alert, Incident, IocFeedHunter, ThreatHunter
+from repro.apps.threat_search import Investigation, ThreatSearchApp
+
+__all__ = [
+    "Alert",
+    "GraphStats",
+    "GrowthTracker",
+    "Incident",
+    "Investigation",
+    "IocFeedHunter",
+    "ThreatHunter",
+    "ThreatSearchApp",
+    "compute_stats",
+]

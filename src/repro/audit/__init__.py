@@ -1,0 +1,30 @@
+"""System-audit substrate for knowledge-enhanced threat protection.
+
+Implements the substrate the paper's future work connects to: an
+audit-event model and a deterministic workload simulator mixing benign
+noise, scenario-derived attack traces, and coincidental IOC matches.
+The hunter that consumes this lives in
+:mod:`repro.apps.threat_hunting`.
+"""
+
+from repro.audit.events import (
+    EVENT_TYPES_BY_IOC_KIND,
+    AuditEvent,
+    AuditEventType,
+)
+from repro.audit.simulate import (
+    AuditLog,
+    AuditLogSimulator,
+    LabeledEvent,
+    simulate,
+)
+
+__all__ = [
+    "AuditEvent",
+    "AuditEventType",
+    "AuditLog",
+    "AuditLogSimulator",
+    "EVENT_TYPES_BY_IOC_KIND",
+    "LabeledEvent",
+    "simulate",
+]

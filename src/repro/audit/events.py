@@ -1,0 +1,96 @@
+"""System audit events.
+
+The paper's future work connects SecurityKG "to our system-auditing-
+based threat protection systems [17, 23, 24] to achieve knowledge-
+enhanced threat protection".  This package implements that connection:
+an audit-event model compatible with what kernel-level monitors (ETW,
+auditd) emit, a workload simulator, and a knowledge-graph-driven
+hunter (:mod:`repro.apps.threat_hunting`).
+
+An event is subject (process) + action + object (file, address,
+registry key, ...) at a time on a host -- the shape AIQL/SAQL-style
+systems query.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class AuditEventType(str, enum.Enum):
+    """Audit actions relevant to CTI-driven hunting."""
+
+    PROCESS_CREATE = "process_create"
+    FILE_WRITE = "file_write"
+    FILE_DELETE = "file_delete"
+    NET_CONNECT = "net_connect"
+    DNS_QUERY = "dns_query"
+    HTTP_REQUEST = "http_request"
+    REGISTRY_SET = "registry_set"
+    EMAIL_SEND = "email_send"
+
+
+@dataclass
+class AuditEvent:
+    """One audit record.
+
+    ``object_value`` is the artifact acted on -- exactly the strings
+    OSCTI IOCs describe (file paths, IPs, domains, URLs, registry
+    keys, email addresses), which is what makes KG-driven matching
+    possible.
+    """
+
+    event_id: int
+    timestamp: float
+    host: str
+    event_type: AuditEventType
+    process: str
+    object_value: str
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "event_id": self.event_id,
+            "timestamp": self.timestamp,
+            "host": self.host,
+            "event_type": self.event_type.value,
+            "process": self.process,
+            "object_value": self.object_value,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditEvent":
+        return cls(
+            event_id=int(data["event_id"]),
+            timestamp=float(data["timestamp"]),
+            host=str(data["host"]),
+            event_type=AuditEventType(str(data["event_type"])),
+            process=str(data["process"]),
+            object_value=str(data["object_value"]),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AuditEvent":
+        return cls.from_dict(json.loads(payload))
+
+
+#: Event types on which each IOC kind can appear.
+EVENT_TYPES_BY_IOC_KIND: dict[str, tuple[AuditEventType, ...]] = {
+    "IP": (AuditEventType.NET_CONNECT,),
+    "Domain": (AuditEventType.DNS_QUERY,),
+    "URL": (AuditEventType.HTTP_REQUEST,),
+    "Email": (AuditEventType.EMAIL_SEND,),
+    "FileName": (AuditEventType.PROCESS_CREATE, AuditEventType.FILE_WRITE),
+    "FilePath": (AuditEventType.FILE_WRITE, AuditEventType.FILE_DELETE),
+    "Registry": (AuditEventType.REGISTRY_SET,),
+    "Hash": (AuditEventType.PROCESS_CREATE,),
+}
+
+__all__ = ["AuditEvent", "AuditEventType", "EVENT_TYPES_BY_IOC_KIND"]

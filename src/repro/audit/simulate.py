@@ -1,0 +1,263 @@
+"""Audit-log simulation: benign background + scenario attack traces.
+
+Real enterprise audit streams are overwhelmingly benign noise with the
+occasional intrusion whose artifacts match threat-intelligence IOCs.
+The simulator reproduces that mix deterministically:
+
+* **benign traffic** -- ordinary processes touching ordinary files,
+  internal addresses and popular domains;
+* **attack traces** -- for a chosen
+  :class:`~repro.websim.scenario.ThreatScenario`, the event sequence
+  its behaviours imply (dropper process, payload writes, registry
+  persistence, C2 connections, DNS beacons, exfil mail), using the
+  *same IOC values the scenario's reports disclose*;
+* **contamination** -- a configurable trickle of benign events that
+  happen to touch a known-bad artifact (an address reused by a CDN, a
+  common file name), the classic source of single-indicator false
+  positives that correlation must suppress.
+
+Every event carries ground truth (benign / attack / contaminated and
+the scenario id), so hunting quality is exactly measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.audit.events import AuditEvent, AuditEventType
+from repro.websim.scenario import ThreatScenario
+
+_BENIGN_PROCESSES = (
+    "chrome.exe", "outlook.exe", "winword.exe", "excel.exe", "explorer.exe",
+    "svchost.exe", "teams.exe", "code.exe", "python.exe", "backupsvc.exe",
+)
+_BENIGN_FILES = (
+    r"C:\Users\alice\Documents\report.docx",
+    r"C:\Users\bob\Downloads\setup.msi",
+    r"C:\Windows\Temp\cache.tmp",
+    r"C:\ProgramData\app\settings.json",
+    r"C:\Users\carol\Desktop\notes.txt",
+)
+_BENIGN_DOMAINS = (
+    "intranet.corp.example", "mail.corp.example", "updates.vendor.example",
+    "search.engine.example", "cdn.media.example",
+)
+_BENIGN_REGISTRY = (
+    r"HKCU\Software\App\WindowSize",
+    r"HKLM\Software\Vendor\Version",
+)
+_HOSTS = tuple(f"ws{i:02d}.corp.example" for i in range(1, 13))
+
+
+@dataclass
+class LabeledEvent:
+    """An audit event plus its ground truth."""
+
+    event: AuditEvent
+    label: str  # 'benign' | 'attack' | 'contaminated'
+    scenario_id: int | None = None
+
+
+@dataclass
+class AuditLog:
+    """A simulated audit stream with ground truth."""
+
+    entries: list[LabeledEvent] = field(default_factory=list)
+
+    @property
+    def events(self) -> list[AuditEvent]:
+        return [entry.event for entry in self.entries]
+
+    def truth_for(self, event_id: int) -> LabeledEvent:
+        for entry in self.entries:
+            if entry.event.event_id == event_id:
+                return entry
+        raise KeyError(f"no event {event_id}")
+
+    @property
+    def attack_event_ids(self) -> set[int]:
+        return {
+            e.event.event_id for e in self.entries if e.label == "attack"
+        }
+
+
+class AuditLogSimulator:
+    """Deterministic audit-stream generator."""
+
+    def __init__(self, seed: int = 5):
+        self._rng = random.Random(seed)
+        self._next_id = 1
+        self._clock = 1_700_000_000.0
+
+    def _emit(
+        self,
+        log: AuditLog,
+        event_type: AuditEventType,
+        process: str,
+        object_value: str,
+        host: str,
+        label: str,
+        scenario_id: int | None = None,
+    ) -> AuditEvent:
+        self._clock += self._rng.uniform(0.5, 4.0)
+        event = AuditEvent(
+            event_id=self._next_id,
+            timestamp=self._clock,
+            host=host,
+            event_type=event_type,
+            process=process,
+            object_value=object_value,
+        )
+        self._next_id += 1
+        log.entries.append(LabeledEvent(event, label, scenario_id))
+        return event
+
+    # -- benign background ----------------------------------------------
+
+    def emit_benign(self, log: AuditLog, count: int) -> None:
+        for _ in range(count):
+            host = self._rng.choice(_HOSTS)
+            process = self._rng.choice(_BENIGN_PROCESSES)
+            kind = self._rng.random()
+            if kind < 0.3:
+                self._emit(
+                    log, AuditEventType.FILE_WRITE, process,
+                    self._rng.choice(_BENIGN_FILES), host, "benign",
+                )
+            elif kind < 0.55:
+                self._emit(
+                    log, AuditEventType.NET_CONNECT, process,
+                    f"10.{self._rng.randint(0, 3)}."
+                    f"{self._rng.randint(0, 255)}.{self._rng.randint(1, 254)}",
+                    host, "benign",
+                )
+            elif kind < 0.8:
+                self._emit(
+                    log, AuditEventType.DNS_QUERY, process,
+                    self._rng.choice(_BENIGN_DOMAINS), host, "benign",
+                )
+            elif kind < 0.92:
+                self._emit(
+                    log, AuditEventType.PROCESS_CREATE, process,
+                    self._rng.choice(_BENIGN_PROCESSES), host, "benign",
+                )
+            else:
+                self._emit(
+                    log, AuditEventType.REGISTRY_SET, process,
+                    self._rng.choice(_BENIGN_REGISTRY), host, "benign",
+                )
+
+    # -- attack traces -------------------------------------------------------
+
+    def emit_attack(self, log: AuditLog, scenario: ThreatScenario) -> str:
+        """Emit the event sequence a scenario's behaviours imply.
+
+        Returns the victim host.  The artifacts are the scenario's own
+        IOC values -- the ones its OSCTI reports disclose -- so a
+        hunter armed with the knowledge graph can recognise them.
+        """
+        host = self._rng.choice(_HOSTS)
+        dropper = self._rng.choice(scenario.file_names)
+        self._emit(
+            log, AuditEventType.PROCESS_CREATE, "outlook.exe", dropper,
+            host, "attack", scenario.scenario_id,
+        )
+        for path in scenario.file_paths[:2]:
+            self._emit(
+                log, AuditEventType.FILE_WRITE, dropper, path,
+                host, "attack", scenario.scenario_id,
+            )
+        for key in scenario.registry_keys:
+            self._emit(
+                log, AuditEventType.REGISTRY_SET, dropper, key,
+                host, "attack", scenario.scenario_id,
+            )
+        for ip in scenario.ips[:2]:
+            self._emit(
+                log, AuditEventType.NET_CONNECT, dropper, ip,
+                host, "attack", scenario.scenario_id,
+            )
+        for domain in scenario.domains[:2]:
+            self._emit(
+                log, AuditEventType.DNS_QUERY, dropper, domain,
+                host, "attack", scenario.scenario_id,
+            )
+        if scenario.urls:
+            self._emit(
+                log, AuditEventType.HTTP_REQUEST, dropper, scenario.urls[0],
+                host, "attack", scenario.scenario_id,
+            )
+        if scenario.emails:
+            self._emit(
+                log, AuditEventType.EMAIL_SEND, dropper, scenario.emails[0],
+                host, "attack", scenario.scenario_id,
+            )
+        return host
+
+    # -- contamination -----------------------------------------------------------
+
+    def emit_contamination(
+        self, log: AuditLog, scenario: ThreatScenario, count: int = 2
+    ) -> None:
+        """Benign events that coincidentally touch a known-bad artifact.
+
+        One isolated indicator match on a host is weak evidence; these
+        events exist so single-IOC hunting produces false positives
+        that knowledge-graph correlation can suppress.  Each
+        coincidence hits a *different* host: two independent reuses of
+        the same threat's infrastructure on one machine would not be a
+        coincidence any more.
+        """
+        hosts = self._rng.sample(_HOSTS, k=min(count, len(_HOSTS)))
+        for host in hosts:
+            process = self._rng.choice(_BENIGN_PROCESSES)
+            ioc_kind = self._rng.random()
+            if ioc_kind < 0.5 and scenario.ips:
+                self._emit(
+                    log, AuditEventType.NET_CONNECT, process,
+                    self._rng.choice(scenario.ips), host, "contaminated",
+                    scenario.scenario_id,
+                )
+            elif scenario.domains:
+                self._emit(
+                    log, AuditEventType.DNS_QUERY, process,
+                    self._rng.choice(scenario.domains), host, "contaminated",
+                    scenario.scenario_id,
+                )
+
+
+def simulate(
+    scenarios: list[ThreatScenario],
+    attacks: int = 3,
+    benign_events: int = 400,
+    contamination_per_scenario: int = 1,
+    seed: int = 5,
+) -> AuditLog:
+    """Build a mixed audit log: noise + attacks + contamination.
+
+    ``attacks`` scenarios (the first ones) produce real intrusions on
+    random hosts; every attack scenario also contaminates unrelated
+    hosts with isolated coincidental matches.
+    """
+    simulator = AuditLogSimulator(seed=seed)
+    log = AuditLog()
+    simulator.emit_benign(log, benign_events // 2)
+    for scenario in scenarios[:attacks]:
+        simulator.emit_attack(log, scenario)
+        simulator.emit_contamination(
+            log, scenario, count=contamination_per_scenario
+        )
+        simulator.emit_benign(log, benign_events // (2 * max(1, attacks)))
+    simulator.emit_benign(
+        log, benign_events - sum(1 for e in log.entries if e.label == "benign")
+    )
+    return log
+
+
+__all__ = [
+    "AuditLog",
+    "AuditLogSimulator",
+    "LabeledEvent",
+    "simulate",
+]

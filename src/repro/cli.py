@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Drives the whole system from a shell::
+
+    python -m repro run --scenarios 12 --reports-per-site 4 --state ./kgdata
+    python -m repro search  --state ./kgdata "agent tesla"
+    python -m repro cypher  --state ./kgdata 'MATCH (m:Malware) RETURN m.name'
+    python -m repro stats   --state ./kgdata
+    python -m repro fuse    --state ./kgdata
+    python -m repro export  --state ./kgdata --out bundle.json
+    python -m repro hunt    --state ./kgdata --attacks 3
+    python -m repro serve   --state ./kgdata --port 8750
+
+``--state DIR`` persists the graph (WAL + snapshots) and the search
+index under DIR, so separate invocations operate on the same knowledge
+graph -- collection in one command, querying in the next.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import SystemConfig
+from repro.core.system import SecurityKG
+
+
+def _state_paths(state: str | None) -> tuple[str | None, Path | None]:
+    if state is None:
+        return None, None
+    root = Path(state)
+    root.mkdir(parents=True, exist_ok=True)
+    return str(root / "graph"), root / "search_index.json"
+
+
+def build_system(args: argparse.Namespace) -> SecurityKG:
+    graph_path, index_path = _state_paths(args.state)
+    crawl_state = (
+        str(Path(args.state) / "crawl_state.json") if args.state else None
+    )
+    config = SystemConfig(
+        scenario_count=args.scenarios,
+        reports_per_site=args.reports_per_site,
+        seed=args.seed,
+        graph_path=graph_path,
+        crawl_state_path=crawl_state,
+        connectors=["graph", "search"],
+        recognizer=getattr(args, "recognizer", "gazetteer"),
+    )
+    if args.config:
+        config = SystemConfig.from_file(args.config)
+        if graph_path and not config.graph_path:
+            config.graph_path = graph_path
+    system = SecurityKG(config)
+    if index_path is not None and index_path.exists():
+        from repro.search.index import SearchIndex
+
+        system.connectors["search"].index = SearchIndex.load(index_path)
+    return system
+
+
+def _save_state(system: SecurityKG, args: argparse.Namespace) -> None:
+    _graph_path, index_path = _state_paths(args.state)
+    if index_path is not None:
+        system.connectors["search"].index.save(index_path)
+    system.database.snapshot()
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    system = build_system(args)
+    report = system.run_once(max_articles=args.max_articles)
+    print(report.describe(), file=out)
+    if args.state:
+        _save_state(system, args)
+        print(f"state saved under {args.state}", file=out)
+    return 0
+
+
+def cmd_search(args: argparse.Namespace, out) -> int:
+    system = build_system(args)
+    hits = system.keyword_search(args.query, limit=args.limit)
+    if not hits:
+        print("no results", file=out)
+        return 1
+    for hit in hits:
+        print(
+            f"{hit.score:8.2f}  {hit.fields.get('title', '')}  "
+            f"[{hit.fields.get('source', '')}]",
+            file=out,
+        )
+    return 0
+
+
+def cmd_cypher(args: argparse.Namespace, out) -> int:
+    from repro.graphdb.store import Edge, Node
+
+    system = build_system(args)
+    try:
+        rows = system.cypher(args.query)
+    except ValueError as error:
+        print(f"query error: {error}", file=out)
+        return 2
+
+    def render(value):
+        if isinstance(value, Node):
+            return f"({value.label} {value.properties.get('name', '')!r})"
+        if isinstance(value, Edge):
+            return f"-[{value.type}]->"
+        return value
+
+    for row in rows:
+        print(
+            "  ".join(f"{k}={render(v)}" for k, v in row.values.items()),
+            file=out,
+        )
+    print(f"({len(rows)} row(s))", file=out)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out) -> int:
+    from repro.apps.stats import compute_stats
+
+    system = build_system(args)
+    print(compute_stats(system.graph).describe(), file=out)
+    return 0
+
+
+def cmd_fuse(args: argparse.Namespace, out) -> int:
+    system = build_system(args)
+    report = system.run_fusion()
+    print(
+        f"fused {report.groups_merged} alias groups "
+        f"({report.nodes_before} -> {report.nodes_after} nodes)",
+        file=out,
+    )
+    for group in report.merged_groups:
+        print("  " + " == ".join(group), file=out)
+    if args.state:
+        _save_state(system, args)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace, out) -> int:
+    from repro.ontology.stix import export_graph
+
+    system = build_system(args)
+    bundle = export_graph(system.graph)
+    payload = bundle.to_json(indent=2)
+    if args.out:
+        Path(args.out).write_text(payload)
+        print(f"wrote {len(bundle.objects)} STIX objects to {args.out}", file=out)
+    else:
+        print(payload, file=out)
+    return 0
+
+
+def cmd_hunt(args: argparse.Namespace, out) -> int:
+    from repro.apps.threat_hunting import ThreatHunter
+    from repro.audit import simulate
+
+    system = build_system(args)
+    if system.graph.node_count == 0:
+        print("knowledge graph is empty; run `repro run` first", file=out)
+        return 1
+    log = simulate(
+        system.web.scenarios,
+        attacks=args.attacks,
+        benign_events=args.benign_events,
+    )
+    incidents = ThreatHunter(system.graph).hunt(log.events)
+    confirmed = [i for i in incidents if i.confirmed]
+    for incident in confirmed:
+        print(incident.summary(), file=out)
+        print(file=out)
+    print(
+        f"{len(confirmed)} confirmed incident(s), "
+        f"{len(incidents) - len(confirmed)} unconfirmed suspicion(s) over "
+        f"{len(log.entries)} audit events",
+        file=out,
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.ui.server import ExplorerAPI, ExplorerServer
+
+    system = build_system(args)
+    server = ExplorerServer(ExplorerAPI(system), port=args.port).start()
+    host, port = server.address
+    print(f"explorer API listening on http://{host}:{port}", file=out)
+    if args.once:  # test hook: start, report, stop
+        server.stop()
+        return 0
+    try:  # pragma: no cover - interactive loop
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        server.stop()
+    return 0
+
+
+def cmd_config(args: argparse.Namespace, out) -> int:
+    print(SystemConfig().to_json(), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SecurityKG: automated OSCTI gathering and management",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--state", help="directory for persistent graph + index")
+        p.add_argument("--config", help="JSON configuration file")
+        p.add_argument("--scenarios", type=int, default=12,
+                       help="simulated-world scenario count")
+        p.add_argument("--reports-per-site", type=int, default=4)
+        p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("run", help="one collect-process-store cycle")
+    common(p)
+    p.add_argument("--max-articles", type=int, default=None)
+    p.add_argument("--recognizer", choices=("gazetteer", "regex", "crf"),
+                   default="gazetteer")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("search", help="keyword search over collected reports")
+    common(p)
+    p.add_argument("query")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("cypher", help="Cypher query over the knowledge graph")
+    common(p)
+    p.add_argument("query")
+    p.set_defaults(func=cmd_cypher)
+
+    p = sub.add_parser("stats", help="knowledge-graph statistics")
+    common(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("fuse", help="run the knowledge-fusion stage")
+    common(p)
+    p.set_defaults(func=cmd_fuse)
+
+    p = sub.add_parser("export", help="export the graph as a STIX bundle")
+    common(p)
+    p.add_argument("--out", help="output file (stdout when omitted)")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("hunt", help="knowledge-enhanced hunt over a simulated audit log")
+    common(p)
+    p.add_argument("--attacks", type=int, default=3)
+    p.add_argument("--benign-events", type=int, default=400)
+    p.set_defaults(func=cmd_hunt)
+
+    p = sub.add_parser("serve", help="serve the explorer JSON API")
+    common(p)
+    p.add_argument("--port", type=int, default=8750)
+    p.add_argument("--once", action="store_true", help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("config", help="print the default configuration")
+    p.set_defaults(func=cmd_config)
+
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

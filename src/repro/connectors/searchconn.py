@@ -1,0 +1,54 @@
+"""Search connector: feeds the keyword-search path.
+
+The UI's keyword search runs through the full-text index (the
+Elasticsearch role in paper section 2.6).  This connector indexes each
+report's title, body, source and extracted entity names, so a query
+like "wannacry" surfaces the relevant reports and, through their
+entity fields, the graph nodes to focus.
+"""
+
+from __future__ import annotations
+
+from repro.connectors.base import Connector, IngestStats, registry
+from repro.ontology.intermediate import CTIRecord
+from repro.search.index import SearchIndex
+
+
+@registry.register
+class SearchConnector(Connector):
+    """Index intermediate CTI representations for keyword search."""
+
+    name = "search"
+
+    def __init__(self, index: SearchIndex | None = None):
+        super().__init__()
+        self.index = index or SearchIndex(
+            field_boosts={"title": 3.0, "entities": 2.0, "body": 1.0}
+        )
+
+    def ingest(self, records: list[CTIRecord]) -> IngestStats:
+        stats = IngestStats(records=len(records))
+        for record in records:
+            entity_names = " ".join(
+                sorted({mention.text for mention in record.mentions})
+            )
+            ioc_values = " ".join(
+                value for values in record.iocs.values() for value in values
+            )
+            self.index.add(
+                record.report_id,
+                {
+                    "title": record.title,
+                    "body": record.text,
+                    "entities": f"{entity_names} {ioc_values}".strip(),
+                    "source": record.source,
+                    "url": record.url,
+                    "category": record.report_category,
+                },
+            )
+            stats.entities_created += 1
+        self.total += stats
+        return stats
+
+
+__all__ = ["SearchConnector"]

@@ -1,0 +1,184 @@
+"""SQL connector (the RDBMS alternative of paper section 2.1).
+
+"If the user cares less about multi-hop relations, he may switch to a
+RDBMS using a SQL connector."  This connector materialises the same
+ontology into three sqlite tables -- ``entities``, ``relations``,
+``reports`` -- with the identical exact-description merge semantics as
+the graph connector, so the two backends stay row/node-comparable
+(benchmark E14).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.connectors.base import Connector, IngestStats, registry
+from repro.ontology.entities import Entity, canonical_name, merge_key_for
+from repro.ontology.intermediate import CTIRecord
+from repro.ontology.refactor import refactor_record
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entities (
+    id INTEGER PRIMARY KEY,
+    label TEXT NOT NULL,
+    merge_key TEXT NOT NULL,
+    name TEXT NOT NULL,
+    attributes TEXT NOT NULL DEFAULT '{}',
+    UNIQUE (label, merge_key)
+);
+CREATE TABLE IF NOT EXISTS relations (
+    id INTEGER PRIMARY KEY,
+    head INTEGER NOT NULL REFERENCES entities(id),
+    type TEXT NOT NULL,
+    tail INTEGER NOT NULL REFERENCES entities(id),
+    weight INTEGER NOT NULL DEFAULT 1,
+    attributes TEXT NOT NULL DEFAULT '{}',
+    UNIQUE (head, type, tail)
+);
+CREATE TABLE IF NOT EXISTS reports (
+    report_id TEXT PRIMARY KEY,
+    source TEXT NOT NULL,
+    url TEXT NOT NULL,
+    title TEXT NOT NULL,
+    category TEXT NOT NULL,
+    published TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_entities_label ON entities(label);
+CREATE INDEX IF NOT EXISTS idx_relations_type ON relations(type);
+"""
+
+
+@registry.register
+class SQLConnector(Connector):
+    """Merge intermediate CTI representations into sqlite."""
+
+    name = "sql"
+
+    def __init__(self, path: str | Path | None = None):
+        super().__init__()
+        self._db_path = str(path) if path is not None else ":memory:"
+        self._conn = sqlite3.connect(self._db_path, check_same_thread=False)
+        self._conn.executescript(_SCHEMA)
+        self._lock = threading.Lock()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._conn
+
+    def _merge_entity(
+        self, cursor: sqlite3.Cursor, entity: Entity, stats: IngestStats
+    ) -> int:
+        merge_key = merge_key_for(entity)
+        row = cursor.execute(
+            "SELECT id, attributes FROM entities WHERE label = ? AND merge_key = ?",
+            (entity.type.value, merge_key),
+        ).fetchone()
+        if row is not None:
+            entity_id, attributes_json = row
+            if entity.attributes:
+                attributes = json.loads(attributes_json)
+                changed = False
+                for key, value in entity.attributes.items():
+                    if key not in attributes:
+                        attributes[key] = value
+                        changed = True
+                if changed:
+                    cursor.execute(
+                        "UPDATE entities SET attributes = ? WHERE id = ?",
+                        (json.dumps(attributes), entity_id),
+                    )
+            stats.entities_merged += 1
+            return int(entity_id)
+        cursor.execute(
+            "INSERT INTO entities (label, merge_key, name, attributes) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                entity.type.value,
+                merge_key,
+                entity.name,
+                json.dumps(entity.attributes),
+            ),
+        )
+        stats.entities_created += 1
+        return int(cursor.lastrowid)
+
+    def ingest(self, records: list[CTIRecord]) -> IngestStats:
+        stats = IngestStats(records=len(records))
+        with self._lock:
+            cursor = self._conn.cursor()
+            for record in records:
+                cursor.execute(
+                    "INSERT OR IGNORE INTO reports "
+                    "(report_id, source, url, title, category, published) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        record.report_id,
+                        record.source,
+                        record.url,
+                        record.title,
+                        record.report_category,
+                        record.published,
+                    ),
+                )
+                delta = refactor_record(record)
+                ids: dict[tuple[str, str], int] = {}
+                for entity in delta.entities:
+                    ids[entity.key] = self._merge_entity(cursor, entity, stats)
+                for relation in delta.relations:
+                    head, tail = ids[relation.head.key], ids[relation.tail.key]
+                    existing = cursor.execute(
+                        "SELECT id, weight FROM relations "
+                        "WHERE head = ? AND type = ? AND tail = ?",
+                        (head, relation.type.value, tail),
+                    ).fetchone()
+                    if existing is not None:
+                        cursor.execute(
+                            "UPDATE relations SET weight = ? WHERE id = ?",
+                            (int(existing[1]) + 1, int(existing[0])),
+                        )
+                        stats.relations_merged += 1
+                    else:
+                        cursor.execute(
+                            "INSERT INTO relations (head, type, tail, attributes) "
+                            "VALUES (?, ?, ?, ?)",
+                            (
+                                head,
+                                relation.type.value,
+                                tail,
+                                json.dumps(relation.attributes),
+                            ),
+                        )
+                        stats.relations_created += 1
+            self._conn.commit()
+        self.total += stats
+        return stats
+
+    # -- reading -------------------------------------------------------
+
+    def entity_count(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM entities").fetchone()[0])
+
+    def relation_count(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM relations").fetchone()[0])
+
+    def label_counts(self) -> dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT label, COUNT(*) FROM entities GROUP BY label ORDER BY label"
+        ).fetchall()
+        return {label: int(count) for label, count in rows}
+
+    def find_entity(self, label: str, name: str) -> tuple[int, str] | None:
+        row = self._conn.execute(
+            "SELECT id, name FROM entities WHERE label = ? AND merge_key = ?",
+            (label, canonical_name(name)),
+        ).fetchone()
+        return (int(row[0]), str(row[1])) if row else None
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+__all__ = ["SQLConnector"]

@@ -1,0 +1,99 @@
+"""System configuration (paper section 2.1).
+
+"The system can be configured through a user-provided configuration
+file, which specifies the set of components to use and the additional
+parameters (e.g., threshold values for entity recognition) passed to
+these components."
+
+:class:`SystemConfig` is that file's schema; it round-trips through
+JSON so deployments are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class SystemConfig:
+    """Everything a SecurityKG deployment needs to know.
+
+    Attributes
+    ----------
+    sources:
+        Site names to collect from (``None`` = every registered source).
+    scenario_count / reports_per_site / seed:
+        Shape of the simulated web backing the crawl.
+    crawl_threads:
+        Worker pool size of the crawl engine.
+    failure_rate / time_scale:
+        Transport misbehaviour knobs (see the simulated network).
+    parse_workers / extract_workers:
+        Parallelism of the processing pipeline stages.
+    serialize_boundaries:
+        Pass serialized intermediates between pipeline stages (the
+        multi-host deployment mode).
+    connectors:
+        Storage connectors to drive (names from the connector registry).
+    recognizer:
+        ``"crf"`` (the paper's extractor; trains at startup),
+        ``"gazetteer"`` or ``"regex"`` (baselines).
+    recognizer_min_confidence:
+        Entity-recognition threshold passed to the extractor -- the
+        paper's example of a component parameter.
+    crf_training_scenarios / crf_max_iterations:
+        Training budget when ``recognizer == "crf"``.
+    graph_path:
+        Directory for graph persistence (``None`` = in-memory).
+    crawl_state_path:
+        JSON file for incremental-crawl state (``None`` = in-memory).
+    checker_min_chars:
+        Minimum rendered-text length accepted by the checker.
+    """
+
+    sources: list[str] | None = None
+    scenario_count: int = 40
+    reports_per_site: int = 10
+    seed: int = 7
+    crawl_threads: int = 8
+    failure_rate: float = 0.0
+    time_scale: float = 0.0
+    parse_workers: int = 2
+    extract_workers: int = 2
+    serialize_boundaries: bool = False
+    connectors: list[str] = field(default_factory=lambda: ["graph", "search"])
+    recognizer: str = "gazetteer"
+    recognizer_min_confidence: float = 0.3
+    crf_training_scenarios: int = 30
+    crf_max_iterations: int = 60
+    graph_path: str | None = None
+    crawl_state_path: str | None = None
+    checker_min_chars: int = 120
+    max_articles: int | None = None
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown configuration keys: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SystemConfig":
+        return cls.from_dict(json.loads(payload))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SystemConfig":
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+
+__all__ = ["SystemConfig"]

@@ -1,0 +1,71 @@
+"""Extractor: source-independent knowledge extraction (paper section 2.4).
+
+Extractors "further refine these intermediate CTI representations by
+completing some of the fields using entity recognition and relation
+extraction"; because the intermediate CTI representation is unified,
+one extractor serves every source.
+
+The recogniser is pluggable: the CRF pipeline (the paper's approach),
+or the gazetteer/regex baselines for speed and benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.nlp.baselines import GazetteerRecognizer
+from repro.nlp.relation import RelationExtractor
+from repro.nlp.tokenize import Sentence
+from repro.ontology.intermediate import CTIRecord, Mention
+
+
+class Recognizer(Protocol):
+    """Anything that extracts mentions from text (CRF or baselines)."""
+
+    def extract(self, text: str) -> tuple[list[Sentence], list[Mention]]: ...
+
+
+class Extractor:
+    """Fill mentions/relations/IOCs on intermediate CTI representations."""
+
+    def __init__(
+        self,
+        recognizer: Recognizer | None = None,
+        relation_extractor: RelationExtractor | None = None,
+        min_confidence: float = 0.3,
+    ):
+        self.recognizer = recognizer or GazetteerRecognizer()
+        self.relations = relation_extractor or RelationExtractor()
+        self.min_confidence = min_confidence
+
+    def extract(self, record: CTIRecord) -> CTIRecord:
+        """Refine one record in place (and return it)."""
+        text = record.text
+        if text.strip():
+            sentences, mentions = self.recognizer.extract(text)
+            existing = {(m.text.lower(), m.type) for m in record.mentions}
+            for mention in mentions:
+                if mention.confidence < self.min_confidence:
+                    continue
+                if mention.type.is_ioc:
+                    record.add_ioc(mention.type, mention.text)
+                    continue
+                if (mention.text.lower(), mention.type) not in existing:
+                    record.mentions.append(mention)
+                    existing.add((mention.text.lower(), mention.type))
+            for index, sentence in enumerate(sentences):
+                sentence_mentions = [
+                    m for m in mentions if m.sentence_index == index
+                ]
+                record.relations.extend(
+                    self.relations.extract_with_mentions(
+                        sentence.tokens, sentence_mentions, index
+                    )
+                )
+        return record
+
+    def extract_all(self, records: list[CTIRecord]) -> list[CTIRecord]:
+        return [self.extract(record) for record in records]
+
+
+__all__ = ["Extractor", "Recognizer"]

@@ -1,0 +1,65 @@
+"""Porter: raw crawl output -> intermediate report representations.
+
+Porters "take the input report files and convert them into
+intermediate report representations; they group multi-page reports and
+add metadata like ids, sources, titles, and original file locations
+and timestamps" (paper section 2.4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crawlers.base import RawDocument
+from repro.htmlparse import parse
+from repro.ontology.intermediate import ReportRecord
+
+
+def report_id_for(group_url: str) -> str:
+    """Deterministic report id from the logical report URL."""
+    return "rpt-" + hashlib.sha1(group_url.encode()).hexdigest()[:16]
+
+
+class Porter:
+    """Group raw pages into per-report records with metadata."""
+
+    def port(self, documents: list[RawDocument]) -> list[ReportRecord]:
+        """Group a batch of raw pages by report and build records.
+
+        Pages are ordered by page number within each report; the title
+        comes from the first page's ``<title>``; the earliest fetch
+        timestamp wins.
+        """
+        by_group: dict[str, list[RawDocument]] = {}
+        order: list[str] = []
+        for document in documents:
+            if document.group_url not in by_group:
+                order.append(document.group_url)
+            by_group.setdefault(document.group_url, []).append(document)
+
+        records: list[ReportRecord] = []
+        for group_url in order:
+            pages = sorted(by_group[group_url], key=lambda d: d.page_no)
+            first = pages[0]
+            title = parse(first.html).title
+            # strip the site-name suffix the renderer appends
+            if "|" in title:
+                title = title.rsplit("|", 1)[0].strip()
+            records.append(
+                ReportRecord(
+                    report_id=report_id_for(group_url),
+                    source=first.source,
+                    url=group_url,
+                    title=title,
+                    pages=[page.html for page in pages],
+                    fetched_at=min(page.fetched_at for page in pages),
+                    metadata={
+                        "page_count": len(pages),
+                        "page_urls": [page.url for page in pages],
+                    },
+                )
+            )
+        return records
+
+
+__all__ = ["Porter", "report_id_for"]

@@ -1,0 +1,295 @@
+"""The SecurityKG facade: the whole system behind one object.
+
+Wires the four lifecycle stages of paper Figure 1 -- collection
+(crawler framework), processing (porter / checker / parsers /
+extractors on the parallel pipeline), storage (connectors), and
+applications (Cypher, keyword search, graph exploration) -- plus the
+off-pipeline knowledge-fusion stage.
+
+>>> from repro.core.system import SecurityKG
+>>> from repro.core.config import SystemConfig
+>>> kg = SecurityKG(SystemConfig(reports_per_site=2, scenario_count=5,
+...                              sources=["ThreatPedia"]))
+>>> report = kg.run_once()
+>>> report.reports_stored
+2
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.connectors.base import Connector, IngestStats
+from repro.connectors.graph import GraphConnector
+from repro.connectors.searchconn import SearchConnector
+from repro.connectors.sql import SQLConnector
+from repro.core.checker import Checker, make_min_text_check, default_checks
+from repro.core.config import SystemConfig
+from repro.core.extractor import Extractor
+from repro.core.parsers import ParserDispatch
+from repro.core.pipeline import Codec, Pipeline, Stage
+from repro.core.porter import Porter
+from repro.crawlers.engine import CrawlEngine, CrawlResult
+from repro.crawlers.fetcher import Fetcher
+from repro.crawlers.sources import build_all_crawlers
+from repro.crawlers.state import CrawlState
+from repro.fusion.fuse import FusionReport, KnowledgeFusion
+from repro.graphdb.cypher.executor import CypherEngine, ResultRow
+from repro.graphdb.wal import GraphDatabase
+from repro.nlp.baselines import GazetteerRecognizer, RegexRecognizer
+from repro.ontology.intermediate import CTIRecord, ReportRecord
+from repro.search.index import SearchHit
+from repro.websim.network import SimulatedTransport
+from repro.websim.scenario import generate_report_content, make_scenarios
+from repro.websim.sites import Web, build_default_web
+
+
+@dataclass
+class SystemReport:
+    """What one collection/processing/storage cycle accomplished."""
+
+    crawl: CrawlResult
+    reports_ported: int = 0
+    reports_rejected: int = 0
+    reports_stored: int = 0
+    rejection_reasons: dict[str, int] = field(default_factory=dict)
+    ingest: dict[str, IngestStats] = field(default_factory=dict)
+    pipeline_elapsed: float = 0.0
+    pipeline_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def reports_per_minute(self) -> float:
+        return self.crawl.reports_per_minute
+
+    def describe(self) -> str:
+        """Human-readable one-cycle summary."""
+        lines = [
+            f"crawled {self.crawl.article_count} reports "
+            f"({self.crawl.pages_fetched} pages) in {self.crawl.elapsed:.2f}s",
+            f"ported {self.reports_ported}, rejected {self.reports_rejected} "
+            f"{dict(self.rejection_reasons)}",
+            f"processed + stored {self.reports_stored} reports in "
+            f"{self.pipeline_elapsed:.2f}s",
+        ]
+        for name, stats in self.ingest.items():
+            lines.append(
+                f"  {name}: +{stats.entities_created} entities "
+                f"({stats.entities_merged} merged), "
+                f"+{stats.relations_created} relations "
+                f"({stats.relations_merged} merged)"
+            )
+        return "\n".join(lines)
+
+
+class SecurityKG:
+    """Automated OSCTI gathering and management.
+
+    Parameters
+    ----------
+    config:
+        Deployment configuration (see :class:`SystemConfig`).
+    web:
+        The web to crawl.  Defaults to the simulated OSCTI web shaped
+        by the configuration; a different ``Web`` (or one with a real
+        transport behind it) can be injected.
+    recognizer:
+        Pre-built entity recogniser; overrides ``config.recognizer``.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        web: Web | None = None,
+        recognizer=None,
+    ):
+        self.config = config or SystemConfig()
+        self.web = web or build_default_web(
+            scenario_count=self.config.scenario_count,
+            reports_per_site=self.config.reports_per_site,
+            seed=self.config.seed,
+        )
+        self.transport = SimulatedTransport(
+            self.web,
+            failure_rate=self.config.failure_rate,
+            time_scale=self.config.time_scale,
+        )
+        self.state = CrawlState(self.config.crawl_state_path)
+        self.porter = Porter()
+        checks = default_checks()
+        checks[1] = make_min_text_check(self.config.checker_min_chars)
+        self.checker = Checker(checks)
+        self.parsers = ParserDispatch()
+        self.extractor = Extractor(
+            recognizer=recognizer or self._build_recognizer(),
+            min_confidence=self.config.recognizer_min_confidence,
+        )
+
+        self.database = GraphDatabase(self.config.graph_path)
+        self.connectors: dict[str, Connector] = {}
+        for name in self.config.connectors:
+            self.connectors[name] = self._build_connector(name)
+        self.fusion = KnowledgeFusion()
+        self._cypher = CypherEngine(self.database.graph)
+
+    # -- wiring ----------------------------------------------------------
+
+    def _build_connector(self, name: str) -> Connector:
+        if name == "graph":
+            return GraphConnector(self.database)
+        if name == "sql":
+            return SQLConnector()
+        if name == "search":
+            return SearchConnector()
+        from repro.connectors.base import registry
+
+        return registry.create(name)
+
+    def _build_recognizer(self):
+        choice = self.config.recognizer
+        if choice == "gazetteer":
+            return GazetteerRecognizer()
+        if choice == "regex":
+            return RegexRecognizer()
+        if choice == "crf":
+            from repro.nlp.ner import EntityRecognizer
+
+            scenarios = make_scenarios(
+                self.config.crf_training_scenarios,
+                seed=self.config.seed + 4,
+                known_only=True,
+            )
+            texts = []
+            for scenario in scenarios:
+                for k in range(2):
+                    content = generate_report_content(
+                        scenario,
+                        random.Random(f"train-{scenario.scenario_id}-{k}"),
+                        sentence_count=8,
+                    )
+                    texts.append(
+                        " ".join(gs.text for gs in content.truth.sentences)
+                    )
+            return EntityRecognizer.train(
+                texts, max_iterations=self.config.crf_max_iterations
+            )
+        raise ValueError(f"unknown recognizer {self.config.recognizer!r}")
+
+    @classmethod
+    def from_default_config(cls) -> "SecurityKG":
+        return cls(SystemConfig())
+
+    @classmethod
+    def from_config_file(cls, path: str) -> "SecurityKG":
+        return cls(SystemConfig.from_file(path))
+
+    # -- the lifecycle ---------------------------------------------------------
+
+    @property
+    def graph(self):
+        return self.database.graph
+
+    def crawl(self, max_articles: int | None = None) -> CrawlResult:
+        """Collection stage: run the crawler framework once."""
+        crawlers = build_all_crawlers(self.config.sources)
+        engine = CrawlEngine(
+            crawlers,
+            Fetcher(self.transport),
+            num_threads=self.config.crawl_threads,
+            state=self.state,
+            max_articles=max_articles or self.config.max_articles,
+        )
+        return engine.crawl()
+
+    def process(self, reports: list[ReportRecord]) -> tuple[list[CTIRecord], object]:
+        """Processing stage: checker -> parsers -> extractors, pipelined."""
+        report_codec = None
+        cti_codec = None
+        if self.config.serialize_boundaries:
+            report_codec = Codec(
+                encode=lambda r: r.to_json(), decode=ReportRecord.from_json
+            )
+            cti_codec = Codec(
+                encode=lambda r: r.to_json(), decode=CTIRecord.from_json
+            )
+
+        def check(record: ReportRecord):
+            return record if self.checker.why_rejected(record) is None else None
+
+        pipeline = Pipeline(
+            [
+                Stage("check", check, workers=1, codec=report_codec),
+                Stage(
+                    "parse",
+                    self.parsers.parse,
+                    workers=self.config.parse_workers,
+                    codec=cti_codec,
+                ),
+                Stage(
+                    "extract",
+                    self.extractor.extract,
+                    workers=self.config.extract_workers,
+                    codec=cti_codec,
+                ),
+            ]
+        )
+        result = pipeline.run(reports)
+        return list(result.outputs), result
+
+    def store(self, records: list[CTIRecord]) -> dict[str, IngestStats]:
+        """Storage stage: drive every configured connector."""
+        return {
+            name: connector.ingest(records)
+            for name, connector in self.connectors.items()
+        }
+
+    def run_once(self, max_articles: int | None = None) -> SystemReport:
+        """One full collect -> process -> store cycle."""
+        crawl_result = self.crawl(max_articles=max_articles)
+        ported = self.porter.port(crawl_result.documents)
+        check_report = self.checker.filter(ported)
+        records, pipeline_result = self.process(check_report.passed)
+        ingest = self.store(records)
+
+        reasons: dict[str, int] = {}
+        for _record, reason in check_report.rejected:
+            reasons[reason] = reasons.get(reason, 0) + 1
+        return SystemReport(
+            crawl=crawl_result,
+            reports_ported=len(ported),
+            reports_rejected=len(check_report.rejected),
+            reports_stored=len(records),
+            rejection_reasons=reasons,
+            ingest=ingest,
+            pipeline_elapsed=pipeline_result.elapsed,
+            pipeline_errors=list(pipeline_result.errors),
+        )
+
+    def run_fusion(self) -> FusionReport:
+        """Off-pipeline knowledge fusion over the stored graph."""
+        return self.fusion.run(self.database.graph)
+
+    # -- applications -----------------------------------------------------------
+
+    def cypher(self, query: str) -> list[ResultRow]:
+        """Cypher search over the knowledge graph (the Neo4j path)."""
+        return self._cypher.run(query)
+
+    def keyword_search(self, query: str, limit: int = 10) -> list[SearchHit]:
+        """Keyword search over collected reports (the Elasticsearch path)."""
+        search = self.connectors.get("search")
+        if not isinstance(search, SearchConnector):
+            raise RuntimeError("the 'search' connector is not configured")
+        return search.index.search(query, limit=limit)
+
+    def stats(self) -> dict[str, object]:
+        """Knowledge-graph size summary."""
+        return {
+            "nodes": self.graph.node_count,
+            "edges": self.graph.edge_count,
+            "labels": self.graph.label_counts(),
+            "edge_types": self.graph.edge_type_counts(),
+        }
+
+
+__all__ = ["SecurityKG", "SystemReport"]

@@ -1,0 +1,77 @@
+"""OSCTI collection: the crawler framework (paper section 2.2).
+
+40+ per-source crawlers run over a shared multi-threaded engine with a
+deduplicating frontier, per-host politeness, robots gating, retrying
+fetcher, incremental state and a periodic scheduler that reboots
+crashed crawlers.
+
+>>> from repro.crawlers import CrawlEngine, Fetcher, build_all_crawlers
+>>> from repro.websim import SimulatedTransport, build_default_web
+>>> web = build_default_web(scenario_count=5, reports_per_site=3)
+>>> engine = CrawlEngine(
+...     build_all_crawlers([web.sites[0].name]),
+...     Fetcher(SimulatedTransport(web, time_scale=0.0)),
+...     num_threads=2,
+... )
+>>> engine.crawl().article_count
+3
+"""
+
+from repro.crawlers.base import (
+    AdvisoryCrawler,
+    BlogCrawler,
+    Crawler,
+    EncyclopediaCrawler,
+    FeedCrawler,
+    NewsCrawler,
+    RawDocument,
+    resolve_url,
+)
+from repro.crawlers.engine import CrawlEngine, CrawlResult
+from repro.crawlers.fetcher import FetchDenied, FetchFailed, FetchStats, Fetcher
+from repro.crawlers.frontier import Frontier
+from repro.crawlers.ratelimit import HostRateLimiter
+from repro.crawlers.robots import RobotsPolicy, path_of
+from repro.crawlers.scheduler import (
+    JobOutcome,
+    JobSpec,
+    PeriodicScheduler,
+    SchedulerStats,
+)
+from repro.crawlers.sources import (
+    ALL_CRAWLER_CLASSES,
+    CRAWLER_REGISTRY,
+    build_all_crawlers,
+    crawler_for,
+)
+from repro.crawlers.state import CrawlState
+
+__all__ = [
+    "ALL_CRAWLER_CLASSES",
+    "AdvisoryCrawler",
+    "BlogCrawler",
+    "CRAWLER_REGISTRY",
+    "CrawlEngine",
+    "CrawlResult",
+    "CrawlState",
+    "Crawler",
+    "EncyclopediaCrawler",
+    "FeedCrawler",
+    "FetchDenied",
+    "FetchFailed",
+    "FetchStats",
+    "Fetcher",
+    "Frontier",
+    "HostRateLimiter",
+    "JobOutcome",
+    "JobSpec",
+    "NewsCrawler",
+    "PeriodicScheduler",
+    "RawDocument",
+    "RobotsPolicy",
+    "SchedulerStats",
+    "build_all_crawlers",
+    "crawler_for",
+    "path_of",
+    "resolve_url",
+]

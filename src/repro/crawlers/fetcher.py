@@ -1,0 +1,156 @@
+"""Robust fetching: retries, backoff, robots gating, politeness.
+
+The :class:`Fetcher` is the single choke point between the crawl engine
+and the transport.  It caches per-host robots policies, applies the
+rate limiter, retries transient failures (connection errors and 5xx)
+with exponential backoff, and keeps counters the robustness benchmark
+(E2) reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.crawlers.ratelimit import HostRateLimiter
+from repro.crawlers.robots import RobotsPolicy, path_of
+from repro.websim.network import Response, SimulatedTransport, TransportError
+
+
+class FetchDenied(Exception):
+    """The URL is disallowed by the host's robots policy."""
+
+
+class FetchFailed(Exception):
+    """All retry attempts were exhausted."""
+
+
+@dataclass
+class FetchStats:
+    """Thread-safe fetch outcome counters."""
+
+    attempts: int = 0
+    successes: int = 0
+    retries: int = 0
+    denied: int = 0
+    failures: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "attempts": self.attempts,
+                "successes": self.successes,
+                "retries": self.retries,
+                "denied": self.denied,
+                "failures": self.failures,
+            }
+
+
+class Fetcher:
+    """Fetch URLs politely and robustly over a transport.
+
+    Parameters
+    ----------
+    transport:
+        Anything with ``fetch(url) -> Response`` raising
+        :class:`TransportError` on connection problems (the simulated
+        transport here; a real HTTP client in production).
+    max_retries:
+        Additional attempts after the first failure.
+    backoff:
+        Base backoff in seconds; attempt *k* sleeps ``backoff * 2**k``.
+    respect_robots:
+        When true, robots.txt is fetched once per host and consulted
+        for every URL.
+    """
+
+    def __init__(
+        self,
+        transport: SimulatedTransport,
+        rate_limiter: HostRateLimiter | None = None,
+        max_retries: int = 3,
+        backoff: float = 0.01,
+        respect_robots: bool = True,
+        agent: str = "securitykg",
+        sleep=time.sleep,
+    ):
+        self.transport = transport
+        self.rate_limiter = rate_limiter or HostRateLimiter()
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.respect_robots = respect_robots
+        self.agent = agent
+        self.stats = FetchStats()
+        self._sleep = sleep
+        self._robots: dict[str, RobotsPolicy] = {}
+        self._robots_lock = threading.Lock()
+
+    @staticmethod
+    def host_of(url: str) -> str:
+        return url.split("://", 1)[-1].split("/", 1)[0]
+
+    def _robots_for(self, host: str) -> RobotsPolicy:
+        with self._robots_lock:
+            cached = self._robots.get(host)
+        if cached is not None:
+            return cached
+        try:
+            response = self.transport.fetch(f"https://{host}/robots.txt")
+            policy = (
+                RobotsPolicy.parse(response.body)
+                if response.ok
+                else RobotsPolicy.allow_all()
+            )
+        except TransportError:
+            policy = RobotsPolicy.allow_all()
+        with self._robots_lock:
+            self._robots.setdefault(host, policy)
+            policy = self._robots[host]
+        delay = policy.crawl_delay(self.agent)
+        if delay:
+            self.rate_limiter.set_host_delay(host, delay)
+        return policy
+
+    def fetch(self, url: str) -> Response:
+        """Fetch one URL with robots gating, politeness and retries.
+
+        Raises :class:`FetchDenied` for robots-disallowed URLs and
+        :class:`FetchFailed` when every attempt failed.  4xx responses
+        are returned as-is (they are permanent, retrying is pointless).
+        """
+        host = self.host_of(url)
+        if self.respect_robots and not url.endswith("/robots.txt"):
+            policy = self._robots_for(host)
+            if not policy.allowed(path_of(url), self.agent):
+                self.stats.bump(denied=1)
+                raise FetchDenied(url)
+
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.stats.bump(retries=1)
+                self._sleep(self.backoff * (2 ** (attempt - 1)))
+            self.rate_limiter.acquire(host)
+            self.stats.bump(attempts=1)
+            try:
+                response = self.transport.fetch(url)
+            except TransportError as error:
+                last_error = error
+                continue
+            if response.status >= 500:
+                last_error = FetchFailed(f"{url} -> {response.status}")
+                continue
+            self.stats.bump(successes=1)
+            return response
+        self.stats.bump(failures=1)
+        raise FetchFailed(f"giving up on {url}: {last_error}")
+
+
+__all__ = ["FetchDenied", "FetchFailed", "FetchStats", "Fetcher"]

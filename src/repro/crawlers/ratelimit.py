@@ -1,0 +1,55 @@
+"""Per-host politeness rate limiting.
+
+Enforces a minimum interval between requests to the same host (the
+larger of the framework default and the host's robots ``Crawl-delay``).
+``acquire`` blocks the calling worker just long enough; hosts are
+independent, so a multi-threaded crawl of 40+ sites proceeds at full
+aggregate speed while each individual site sees a polite pace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class HostRateLimiter:
+    """Minimum-interval limiter keyed by host."""
+
+    def __init__(self, min_interval: float = 0.0, clock=time.monotonic, sleep=time.sleep):
+        self.min_interval = min_interval
+        self._clock = clock
+        self._sleep = sleep
+        self._next_allowed: dict[str, float] = {}
+        self._host_delay: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def set_host_delay(self, host: str, delay: float | None) -> None:
+        """Apply a robots Crawl-delay for one host (None clears it)."""
+        with self._lock:
+            if delay is None:
+                self._host_delay.pop(host, None)
+            else:
+                self._host_delay[host] = delay
+
+    def _interval_for(self, host: str) -> float:
+        return max(self.min_interval, self._host_delay.get(host, 0.0))
+
+    def acquire(self, host: str) -> float:
+        """Block until the host may be contacted; returns the wait time.
+
+        The reservation is made under the lock (so concurrent workers
+        queue up distinct slots) but the sleep happens outside it.
+        """
+        with self._lock:
+            now = self._clock()
+            allowed_at = self._next_allowed.get(host, now)
+            start = max(now, allowed_at)
+            self._next_allowed[host] = start + self._interval_for(host)
+        wait = start - now
+        if wait > 0:
+            self._sleep(wait)
+        return max(0.0, wait)
+
+
+__all__ = ["HostRateLimiter"]

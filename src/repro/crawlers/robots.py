@@ -1,0 +1,115 @@
+"""robots.txt parsing and gating.
+
+A small, correct subset of the robots exclusion protocol: user-agent
+groups, ``Disallow``/``Allow`` prefix rules (longest match wins, Allow
+beats Disallow on ties) and ``Crawl-delay``.  The crawler framework
+fetches each host's policy once and consults it before every request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RuleGroup:
+    """Rules for one set of user-agents."""
+
+    agents: list[str] = field(default_factory=list)
+    rules: list[tuple[str, str]] = field(default_factory=list)  # (verb, path)
+    crawl_delay: float | None = None
+
+    def applies_to(self, agent: str) -> bool:
+        agent = agent.lower()
+        return any(a == "*" or a in agent for a in self.agents)
+
+
+@dataclass
+class RobotsPolicy:
+    """Parsed robots.txt for one host."""
+
+    groups: list[RuleGroup] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str) -> "RobotsPolicy":
+        """Parse robots.txt content; unknown directives are ignored."""
+        groups: list[RuleGroup] = []
+        current: RuleGroup | None = None
+        expecting_agents = False
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line or ":" not in line:
+                continue
+            verb, _, value = line.partition(":")
+            verb = verb.strip().lower()
+            value = value.strip()
+            if verb == "user-agent":
+                if current is None or not expecting_agents:
+                    current = RuleGroup()
+                    groups.append(current)
+                    expecting_agents = True
+                current.agents.append(value.lower())
+            elif verb in ("disallow", "allow"):
+                expecting_agents = False
+                if current is None:
+                    current = RuleGroup(agents=["*"])
+                    groups.append(current)
+                current.rules.append((verb, value))
+            elif verb == "crawl-delay":
+                expecting_agents = False
+                if current is not None:
+                    try:
+                        current.crawl_delay = float(value)
+                    except ValueError:
+                        pass
+        return cls(groups=groups)
+
+    @classmethod
+    def allow_all(cls) -> "RobotsPolicy":
+        """The policy used when robots.txt is missing or unreadable."""
+        return cls(groups=[])
+
+    def _group_for(self, agent: str) -> RuleGroup | None:
+        specific = [g for g in self.groups if g.applies_to(agent) and "*" not in g.agents]
+        if specific:
+            return specific[0]
+        for group in self.groups:
+            if group.applies_to(agent):
+                return group
+        return None
+
+    def allowed(self, path: str, agent: str = "securitykg") -> bool:
+        """Whether ``path`` may be fetched by ``agent``.
+
+        Longest matching rule wins; on equal length ``Allow`` wins.
+        An empty ``Disallow:`` value allows everything (per the spec).
+        """
+        group = self._group_for(agent)
+        if group is None:
+            return True
+        best_len = -1
+        best_verdict = True
+        for verb, rule_path in group.rules:
+            if not rule_path:
+                if verb == "disallow" and best_len < 0:
+                    best_verdict = True
+                continue
+            if path.startswith(rule_path) and len(rule_path) >= best_len:
+                if len(rule_path) > best_len or verb == "allow":
+                    best_verdict = verb == "allow"
+                best_len = len(rule_path)
+        return best_verdict
+
+    def crawl_delay(self, agent: str = "securitykg") -> float | None:
+        group = self._group_for(agent)
+        return group.crawl_delay if group else None
+
+
+def path_of(url: str) -> str:
+    """The path component of a URL (``/`` when absent)."""
+    rest = url.split("://", 1)[-1]
+    slash = rest.find("/")
+    return rest[slash:] if slash >= 0 else "/"
+
+
+__all__ = ["RobotsPolicy", "RuleGroup", "path_of"]

@@ -1,0 +1,50 @@
+"""The 42 per-source crawler classes and the source registry.
+
+Each class handles exactly one data source (paper section 2.2).  The
+registry maps site names to crawler classes so the engine, scheduler
+and configuration layer can instantiate crawlers by name.
+"""
+
+from __future__ import annotations
+
+from repro.crawlers.base import Crawler
+from repro.crawlers.sources.advisories import ADVISORY_CRAWLERS
+from repro.crawlers.sources.blogs import BLOG_CRAWLERS
+from repro.crawlers.sources.encyclopedias import ENCYCLOPEDIA_CRAWLERS
+from repro.crawlers.sources.feeds import FEED_CRAWLERS
+from repro.crawlers.sources.news import NEWS_CRAWLERS
+
+ALL_CRAWLER_CLASSES: tuple[type[Crawler], ...] = (
+    ENCYCLOPEDIA_CRAWLERS
+    + BLOG_CRAWLERS
+    + NEWS_CRAWLERS
+    + ADVISORY_CRAWLERS
+    + FEED_CRAWLERS
+)
+
+#: site name -> crawler class
+CRAWLER_REGISTRY: dict[str, type[Crawler]] = {
+    cls.site_name: cls for cls in ALL_CRAWLER_CLASSES
+}
+
+
+def crawler_for(site_name: str) -> Crawler:
+    """Instantiate the crawler responsible for one site."""
+    try:
+        return CRAWLER_REGISTRY[site_name]()
+    except KeyError:
+        raise KeyError(f"no crawler registered for site {site_name!r}") from None
+
+
+def build_all_crawlers(site_names: list[str] | None = None) -> list[Crawler]:
+    """Instantiate every registered crawler (or a named subset)."""
+    names = site_names if site_names is not None else list(CRAWLER_REGISTRY)
+    return [crawler_for(name) for name in names]
+
+
+__all__ = [
+    "ALL_CRAWLER_CLASSES",
+    "CRAWLER_REGISTRY",
+    "build_all_crawlers",
+    "crawler_for",
+]

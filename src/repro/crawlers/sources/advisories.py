@@ -1,0 +1,46 @@
+"""Crawlers for the seven vulnerability-advisory sources."""
+
+from __future__ import annotations
+
+from repro.crawlers.base import AdvisoryCrawler
+
+
+class NVDShadowCrawler(AdvisoryCrawler):
+    site_name = "NVD Shadow"
+
+
+class CERTRelayCrawler(AdvisoryCrawler):
+    site_name = "CERT Relay"
+
+
+class PatchAlertCrawler(AdvisoryCrawler):
+    site_name = "PatchAlert"
+
+
+class VulnTrackerCrawler(AdvisoryCrawler):
+    site_name = "VulnTracker"
+
+
+class ExploitNoticeCrawler(AdvisoryCrawler):
+    site_name = "ExploitNotice"
+
+
+class AdvisoryHubCrawler(AdvisoryCrawler):
+    site_name = "AdvisoryHub"
+
+
+class SecFlawRegistryCrawler(AdvisoryCrawler):
+    site_name = "SecFlaw Registry"
+
+
+ADVISORY_CRAWLERS = (
+    NVDShadowCrawler,
+    CERTRelayCrawler,
+    PatchAlertCrawler,
+    VulnTrackerCrawler,
+    ExploitNoticeCrawler,
+    AdvisoryHubCrawler,
+    SecFlawRegistryCrawler,
+)
+
+__all__ = [cls.__name__ for cls in ADVISORY_CRAWLERS] + ["ADVISORY_CRAWLERS"]

@@ -1,0 +1,71 @@
+"""Crawlers for the twelve research-blog sources."""
+
+from __future__ import annotations
+
+from repro.crawlers.base import BlogCrawler
+
+
+class SecureListingCrawler(BlogCrawler):
+    site_name = "SecureListing"
+
+
+class RedCanopyBlogCrawler(BlogCrawler):
+    site_name = "RedCanopy Blog"
+
+
+class NightOwlNotesCrawler(BlogCrawler):
+    site_name = "NightOwl Notes"
+
+
+class CipherTraceJournalCrawler(BlogCrawler):
+    site_name = "CipherTrace Journal"
+
+
+class BlueLatticeResearchCrawler(BlogCrawler):
+    site_name = "BlueLattice Research"
+
+
+class ThreatForgeLabCrawler(BlogCrawler):
+    site_name = "ThreatForge Lab"
+
+
+class ObsidianSecPostsCrawler(BlogCrawler):
+    site_name = "ObsidianSec Posts"
+
+
+class HaloGuardInsightsCrawler(BlogCrawler):
+    site_name = "HaloGuard Insights"
+
+
+class VectorShieldBriefsCrawler(BlogCrawler):
+    site_name = "VectorShield Briefs"
+
+
+class PaleFireWriteupsCrawler(BlogCrawler):
+    site_name = "PaleFire Writeups"
+
+
+class IronVeilDispatchCrawler(BlogCrawler):
+    site_name = "IronVeil Dispatch"
+
+
+class CrimsonHexDiaryCrawler(BlogCrawler):
+    site_name = "CrimsonHex Diary"
+
+
+BLOG_CRAWLERS = (
+    SecureListingCrawler,
+    RedCanopyBlogCrawler,
+    NightOwlNotesCrawler,
+    CipherTraceJournalCrawler,
+    BlueLatticeResearchCrawler,
+    ThreatForgeLabCrawler,
+    ObsidianSecPostsCrawler,
+    HaloGuardInsightsCrawler,
+    VectorShieldBriefsCrawler,
+    PaleFireWriteupsCrawler,
+    IronVeilDispatchCrawler,
+    CrimsonHexDiaryCrawler,
+)
+
+__all__ = [cls.__name__ for cls in BLOG_CRAWLERS] + ["BLOG_CRAWLERS"]

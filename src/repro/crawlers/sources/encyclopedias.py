@@ -1,0 +1,53 @@
+"""Crawlers for the eight threat-encyclopedia sources."""
+
+from __future__ import annotations
+
+from repro.crawlers.base import EncyclopediaCrawler
+
+
+class ThreatPediaCrawler(EncyclopediaCrawler):
+    site_name = "ThreatPedia"
+
+
+class MalwareVaultCrawler(EncyclopediaCrawler):
+    site_name = "MalwareVault"
+
+
+class VirusArchiveCrawler(EncyclopediaCrawler):
+    site_name = "VirusArchive"
+
+
+class ThreatLibraryCrawler(EncyclopediaCrawler):
+    site_name = "ThreatLibrary"
+
+
+class InfectDBCrawler(EncyclopediaCrawler):
+    site_name = "InfectDB"
+
+
+class MalwareAtlasCrawler(EncyclopediaCrawler):
+    site_name = "MalwareAtlas"
+
+
+class ThreatCompendiumCrawler(EncyclopediaCrawler):
+    site_name = "ThreatCompendium"
+
+
+class SpecimenIndexCrawler(EncyclopediaCrawler):
+    site_name = "SpecimenIndex"
+
+
+ENCYCLOPEDIA_CRAWLERS = (
+    ThreatPediaCrawler,
+    MalwareVaultCrawler,
+    VirusArchiveCrawler,
+    ThreatLibraryCrawler,
+    InfectDBCrawler,
+    MalwareAtlasCrawler,
+    ThreatCompendiumCrawler,
+    SpecimenIndexCrawler,
+)
+
+__all__ = [cls.__name__ for cls in ENCYCLOPEDIA_CRAWLERS] + [
+    "ENCYCLOPEDIA_CRAWLERS"
+]

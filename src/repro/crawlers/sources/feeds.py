@@ -1,0 +1,36 @@
+"""Crawlers for the five aggregator-feed sources."""
+
+from __future__ import annotations
+
+from repro.crawlers.base import FeedCrawler
+
+
+class OTXMirrorCrawler(FeedCrawler):
+    site_name = "OTX Mirror"
+
+
+class ThreatMinerEchoCrawler(FeedCrawler):
+    site_name = "ThreatMiner Echo"
+
+
+class PhishTankRelayCrawler(FeedCrawler):
+    site_name = "PhishTank Relay"
+
+
+class IOCFirehoseCrawler(FeedCrawler):
+    site_name = "IOC Firehose"
+
+
+class IntelStreamCrawler(FeedCrawler):
+    site_name = "IntelStream"
+
+
+FEED_CRAWLERS = (
+    OTXMirrorCrawler,
+    ThreatMinerEchoCrawler,
+    PhishTankRelayCrawler,
+    IOCFirehoseCrawler,
+    IntelStreamCrawler,
+)
+
+__all__ = [cls.__name__ for cls in FEED_CRAWLERS] + ["FEED_CRAWLERS"]

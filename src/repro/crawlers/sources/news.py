@@ -1,0 +1,61 @@
+"""Crawlers for the ten security-news sources."""
+
+from __future__ import annotations
+
+from repro.crawlers.base import NewsCrawler
+
+
+class InfoSecLedgerCrawler(NewsCrawler):
+    site_name = "InfoSec Ledger"
+
+
+class BreachGazetteCrawler(NewsCrawler):
+    site_name = "Breach Gazette"
+
+
+class CyberWireDailyCrawler(NewsCrawler):
+    site_name = "CyberWire Daily"
+
+
+class ThreatPostMirrorCrawler(NewsCrawler):
+    site_name = "ThreatPost Mirror"
+
+
+class DarkReadingEchoCrawler(NewsCrawler):
+    site_name = "DarkReading Echo"
+
+
+class HackWatchNewsCrawler(NewsCrawler):
+    site_name = "HackWatch News"
+
+
+class ZeroDayTribuneCrawler(NewsCrawler):
+    site_name = "ZeroDay Tribune"
+
+
+class PacketStormTimesCrawler(NewsCrawler):
+    site_name = "PacketStorm Times"
+
+
+class FirewallHeraldCrawler(NewsCrawler):
+    site_name = "FirewallHerald"
+
+
+class MalwareBulletinCrawler(NewsCrawler):
+    site_name = "MalwareBulletin"
+
+
+NEWS_CRAWLERS = (
+    InfoSecLedgerCrawler,
+    BreachGazetteCrawler,
+    CyberWireDailyCrawler,
+    ThreatPostMirrorCrawler,
+    DarkReadingEchoCrawler,
+    HackWatchNewsCrawler,
+    ZeroDayTribuneCrawler,
+    PacketStormTimesCrawler,
+    FirewallHeraldCrawler,
+    MalwareBulletinCrawler,
+)
+
+__all__ = [cls.__name__ for cls in NEWS_CRAWLERS] + ["NEWS_CRAWLERS"]

@@ -1,0 +1,78 @@
+"""Incremental crawl state.
+
+The paper's crawler framework collects "periodically and
+incrementally": a re-crawl must skip reports it already has.  The
+state records every article URL ever emitted plus per-source crawl
+timestamps, and persists to a JSON file so state survives restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+
+class CrawlState:
+    """Thread-safe seen-URL set with optional JSON persistence."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._seen: set[str] = set()
+        self._last_crawl: dict[str, float] = {}
+        self._lock = threading.Lock()
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        data = json.loads(self.path.read_text())
+        self._seen = set(data.get("seen", []))
+        self._last_crawl = {
+            str(k): float(v) for k, v in data.get("last_crawl", {}).items()
+        }
+
+    def save(self) -> None:
+        """Persist atomically (write-then-rename)."""
+        if self.path is None:
+            return
+        with self._lock:
+            payload = {
+                "seen": sorted(self._seen),
+                "last_crawl": dict(self._last_crawl),
+            }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(self.path)
+
+    def is_seen(self, url: str) -> bool:
+        with self._lock:
+            return url in self._seen
+
+    def mark_seen(self, url: str) -> bool:
+        """Record a URL; returns False when it was already known."""
+        with self._lock:
+            if url in self._seen:
+                return False
+            self._seen.add(url)
+            return True
+
+    def unmark(self, url: str) -> None:
+        """Forget a URL (e.g. its document was dropped by a crawl cap)."""
+        with self._lock:
+            self._seen.discard(url)
+
+    def record_crawl(self, source: str, timestamp: float) -> None:
+        with self._lock:
+            self._last_crawl[source] = timestamp
+
+    def last_crawl(self, source: str) -> float | None:
+        with self._lock:
+            return self._last_crawl.get(source)
+
+    @property
+    def seen_count(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+
+__all__ = ["CrawlState"]

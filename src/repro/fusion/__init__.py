@@ -1,0 +1,26 @@
+"""Knowledge fusion stage (paper section 2.5).
+
+Separate from the main pipeline by design: alias groups (same entity
+under different vendor naming conventions) are merged into unified
+nodes with migrated edges only after storage, preventing early
+deletion of useful information.
+"""
+
+from repro.fusion.fuse import FusionReport, KnowledgeFusion
+from repro.fusion.similarity import (
+    jaro,
+    jaro_winkler,
+    name_similarity,
+    squash,
+    token_set_overlap,
+)
+
+__all__ = [
+    "FusionReport",
+    "KnowledgeFusion",
+    "jaro",
+    "jaro_winkler",
+    "name_similarity",
+    "squash",
+    "token_set_overlap",
+]

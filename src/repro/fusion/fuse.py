@@ -1,0 +1,205 @@
+"""Knowledge fusion: merging alias nodes (paper section 2.5).
+
+The storage stage only merges nodes whose description text matches
+exactly; nodes that are "the same malware represented in different
+naming conventions by different CTI vendors" survive as distinct
+nodes.  This separate stage finds those alias groups (same label,
+similar names), creates one unified node per group, migrates every
+relation edge onto it, and records the aliases -- without ever running
+inside the main pipeline, so nothing is deleted early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fusion.similarity import name_similarity, squash
+from repro.graphdb.store import PropertyGraph
+
+
+@dataclass
+class FusionReport:
+    """What one fusion pass did."""
+
+    nodes_before: int = 0
+    nodes_after: int = 0
+    groups_merged: int = 0
+    aliases_resolved: int = 0
+    merged_groups: list[list[str]] = field(default_factory=list)
+
+    @property
+    def nodes_removed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+class _UnionFind:
+    def __init__(self, items: list[int]):
+        self.parent = {item: item for item in items}
+
+    def find(self, item: int) -> int:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+class KnowledgeFusion:
+    """Alias clustering + node merging over a property graph.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum :func:`~repro.fusion.similarity.name_similarity` for
+        two same-label nodes to be considered aliases (squash-equal
+        names always are).
+    labels:
+        Node labels eligible for fusion.  IOCs are excluded by default:
+        two similar-looking hashes are *different* hashes.
+    """
+
+    FUSABLE_LABELS = frozenset(
+        {"Malware", "ThreatActor", "Technique", "Tool", "Software", "Campaign",
+         "Vendor"}
+    )
+
+    def __init__(
+        self,
+        threshold: float = 0.93,
+        labels: frozenset[str] | None = None,
+    ):
+        self.threshold = threshold
+        self.labels = labels if labels is not None else self.FUSABLE_LABELS
+
+    # -- clustering ------------------------------------------------------
+
+    def find_alias_groups(self, graph: PropertyGraph) -> list[list[int]]:
+        """Groups (size >= 2) of node ids judged to be the same entity."""
+        groups: list[list[int]] = []
+        for label in sorted(self.labels):
+            nodes = list(graph.nodes(label))
+            if len(nodes) < 2:
+                continue
+            uf = _UnionFind([n.node_id for n in nodes])
+            # Exact squash equality via bucketing (cheap), then pairwise
+            # similarity within plausible buckets (first-two-chars block).
+            by_squash: dict[str, list[int]] = {}
+            by_block: dict[str, list[tuple[int, str]]] = {}
+            for node in nodes:
+                name = str(node.properties.get("name", ""))
+                squashed = squash(name)
+                by_squash.setdefault(squashed, []).append(node.node_id)
+                by_block.setdefault(squashed[:2], []).append((node.node_id, name))
+            for members in by_squash.values():
+                for other in members[1:]:
+                    uf.union(members[0], other)
+            for block in by_block.values():
+                for i, (id_a, name_a) in enumerate(block):
+                    for id_b, name_b in block[i + 1 :]:
+                        if uf.find(id_a) == uf.find(id_b):
+                            continue
+                        if name_similarity(name_a, name_b) >= self.threshold:
+                            uf.union(id_a, id_b)
+            clusters: dict[int, list[int]] = {}
+            for node in nodes:
+                clusters.setdefault(uf.find(node.node_id), []).append(node.node_id)
+            groups.extend(
+                sorted(members) for members in clusters.values() if len(members) > 1
+            )
+        return groups
+
+    # -- merging -------------------------------------------------------------
+
+    def merge_group(self, graph: PropertyGraph, group: list[int]) -> int:
+        """Merge one alias group into its canonical node.
+
+        The canonical node is the highest-degree member (the richest
+        one); its name wins, the other names become ``aliases``, edges
+        are migrated with de-duplication, and the losers are deleted.
+        Returns the canonical node id.
+        """
+        canonical_id = max(group, key=lambda i: (graph.degree(i), -i))
+        canonical = graph.node(canonical_id)
+        aliases = set(canonical.properties.get("aliases", []))
+        merged_properties: dict[str, object] = {}
+
+        for node_id in group:
+            if node_id == canonical_id:
+                continue
+            node = graph.node(node_id)
+            name = str(node.properties.get("name", ""))
+            if name and name != canonical.properties.get("name"):
+                aliases.add(name)
+            for key, value in node.properties.items():
+                if key in ("name", "merge_key", "aliases"):
+                    continue
+                if key not in canonical.properties:
+                    merged_properties[key] = value
+            for edge in list(graph.out_edges(node_id)):
+                self._migrate_edge(graph, edge.edge_id, src=canonical_id)
+            for edge in list(graph.in_edges(node_id)):
+                # a self-loop was already consumed by the out-edge pass
+                if graph.has_edge(edge.edge_id):
+                    self._migrate_edge(graph, edge.edge_id, dst=canonical_id)
+            graph.delete_node(node_id)
+
+        merged_properties["aliases"] = sorted(aliases)
+        graph.set_node_properties(canonical_id, merged_properties)
+        return canonical_id
+
+    def _migrate_edge(
+        self,
+        graph: PropertyGraph,
+        edge_id: int,
+        src: int | None = None,
+        dst: int | None = None,
+    ) -> None:
+        """Recreate an edge with one endpoint moved, merging duplicates."""
+        edge = graph.edge(edge_id)
+        new_src = src if src is not None else edge.src
+        new_dst = dst if dst is not None else edge.dst
+        if new_src == new_dst:
+            graph.delete_edge(edge_id)
+            return
+        duplicates = [
+            e for e in graph.out_edges(new_src, edge.type) if e.dst == new_dst
+        ]
+        if duplicates:
+            existing = duplicates[0]
+            weight = int(existing.properties.get("weight", 1)) + int(
+                edge.properties.get("weight", 1)
+            )
+            reports = list(existing.properties.get("reports", []))
+            for report in edge.properties.get("reports", []):
+                if report not in reports:
+                    reports.append(report)
+            graph.set_edge_properties(
+                existing.edge_id, {"weight": weight, "reports": reports}
+            )
+            graph.delete_edge(edge_id)
+        else:
+            graph.create_edge(new_src, edge.type, new_dst, dict(edge.properties))
+            graph.delete_edge(edge_id)
+
+    # -- entry point ----------------------------------------------------------------
+
+    def run(self, graph: PropertyGraph) -> FusionReport:
+        """One full fusion pass over the graph."""
+        report = FusionReport(nodes_before=graph.node_count)
+        for group in self.find_alias_groups(graph):
+            names = [
+                str(graph.node(i).properties.get("name", "")) for i in group
+            ]
+            self.merge_group(graph, group)
+            report.groups_merged += 1
+            report.aliases_resolved += len(group) - 1
+            report.merged_groups.append(sorted(names))
+        report.nodes_after = graph.node_count
+        return report
+
+
+__all__ = ["FusionReport", "KnowledgeFusion"]

@@ -1,0 +1,18 @@
+"""Cypher-subset query engine (lexer, parser, executor)."""
+
+from repro.graphdb.cypher.executor import (
+    CypherEngine,
+    CypherRuntimeError,
+    ResultRow,
+)
+from repro.graphdb.cypher.lexer import CypherSyntaxError, tokenize
+from repro.graphdb.cypher.parser import parse
+
+__all__ = [
+    "CypherEngine",
+    "CypherRuntimeError",
+    "CypherSyntaxError",
+    "ResultRow",
+    "parse",
+    "tokenize",
+]

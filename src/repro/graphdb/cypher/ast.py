@@ -1,0 +1,153 @@
+"""Cypher abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- expressions ------------------------------------------------------------
+
+
+class Expr:
+    """Marker base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Variable(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Property(Expr):
+    variable: str
+    key: str
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    op: str  # '=', '<>', '<', '>', '<=', '>=', 'IN', 'CONTAINS',
+    #          'STARTS WITH', 'ENDS WITH', 'IS NULL', 'IS NOT NULL'
+    left: Expr
+    right: Expr | None  # None for IS [NOT] NULL
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Count(Expr):
+    """count(*) when operand is None, else count(expr)."""
+
+    operand: Expr | None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Collect(Expr):
+    """collect(expr): aggregate values into a list."""
+
+    operand: Expr
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ListLiteral(Expr):
+    items: tuple[Expr, ...]
+
+
+# -- patterns ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    variable: str | None
+    label: str | None
+    properties: tuple[tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    variable: str | None
+    rel_type: str | None
+    direction: str  # 'out', 'in', 'any'
+    #: variable-length bounds; (1, 1) is a plain single-hop pattern
+    min_hops: int = 1
+    max_hops: int = 1
+
+    @property
+    def is_variable_length(self) -> bool:
+        return (self.min_hops, self.max_hops) != (1, 1)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    nodes: tuple[NodePattern, ...]
+    rels: tuple[RelPattern, ...]  # len(rels) == len(nodes) - 1
+
+
+# -- query forms ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    expr: Expr
+    alias: str
+
+
+@dataclass
+class MatchQuery:
+    paths: list[PathPattern]
+    where: Expr | None = None
+    returns: list[ReturnItem] = field(default_factory=list)
+    distinct: bool = False
+    order_by: list[tuple[Expr, bool]] = field(default_factory=list)  # (expr, asc)
+    skip: int | None = None
+    limit: int | None = None
+
+
+@dataclass
+class CreateQuery:
+    paths: list[PathPattern]
+
+
+Query = MatchQuery | CreateQuery
+
+__all__ = [
+    "And",
+    "Collect",
+    "Compare",
+    "Count",
+    "CreateQuery",
+    "Expr",
+    "ListLiteral",
+    "Literal",
+    "MatchQuery",
+    "NodePattern",
+    "Not",
+    "Or",
+    "PathPattern",
+    "Property",
+    "Query",
+    "RelPattern",
+    "ReturnItem",
+    "Variable",
+]

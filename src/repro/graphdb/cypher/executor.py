@@ -1,0 +1,525 @@
+"""Cypher query execution.
+
+Pattern matching runs as a backtracking join: within each path the
+executor seeds the search at the most selective node pattern
+(property-indexed lookup beats label scan beats full scan), expands
+along relationship patterns using adjacency lists, and threads
+variable bindings across paths.  WHERE filters bindings, RETURN
+projects them, ``count(...)`` aggregates with grouping over the
+non-aggregated items, then DISTINCT / ORDER BY / SKIP / LIMIT apply in
+the standard order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.graphdb.cypher import ast
+from repro.graphdb.cypher.lexer import CypherSyntaxError
+from repro.graphdb.cypher.parser import parse
+from repro.graphdb.store import Edge, Node, PropertyGraph
+
+
+class CypherRuntimeError(ValueError):
+    """Semantic error discovered during execution."""
+
+
+Bindings = dict[str, object]
+
+
+@dataclass
+class ResultRow:
+    """One row of a query result: alias -> value."""
+
+    values: dict[str, object]
+
+    def __getitem__(self, alias: str) -> object:
+        return self.values[alias]
+
+    def keys(self):
+        return self.values.keys()
+
+
+class CypherEngine:
+    """Execute parsed Cypher against a property graph."""
+
+    def __init__(self, graph: PropertyGraph):
+        self.graph = graph
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, query: str) -> list[ResultRow]:
+        """Parse and execute; returns result rows (empty for CREATE)."""
+        parsed = parse(query)
+        if isinstance(parsed, ast.CreateQuery):
+            self._execute_create(parsed)
+            return []
+        return self._execute_match(parsed)
+
+    # -- CREATE ------------------------------------------------------------
+
+    def _execute_create(self, query: ast.CreateQuery) -> None:
+        bound: dict[str, Node] = {}
+        for path in query.paths:
+            previous: Node | None = None
+            for index, node_pattern in enumerate(path.nodes):
+                node = self._create_or_reuse(node_pattern, bound)
+                if index > 0:
+                    rel = path.rels[index - 1]
+                    if rel.direction == "in":
+                        self.graph.create_edge(
+                            node.node_id, rel.rel_type or "RELATED_TO", previous.node_id
+                        )
+                    else:
+                        self.graph.create_edge(
+                            previous.node_id, rel.rel_type or "RELATED_TO", node.node_id
+                        )
+                previous = node
+
+    def _create_or_reuse(
+        self, pattern: ast.NodePattern, bound: dict[str, Node]
+    ) -> Node:
+        if pattern.variable and pattern.variable in bound:
+            return bound[pattern.variable]
+        node = self.graph.create_node(
+            pattern.label or "Node", dict(pattern.properties)
+        )
+        if pattern.variable:
+            bound[pattern.variable] = node
+        return node
+
+    # -- MATCH ------------------------------------------------------------
+
+    def _execute_match(self, query: ast.MatchQuery) -> list[ResultRow]:
+        bindings_list = [dict()]  # type: list[Bindings]
+        for path in query.paths:
+            extended: list[Bindings] = []
+            for bindings in bindings_list:
+                extended.extend(self._match_path(path, bindings))
+            bindings_list = extended
+            if not bindings_list:
+                break
+
+        if query.where is not None:
+            bindings_list = [
+                b for b in bindings_list if _truthy(self._eval(query.where, b))
+            ]
+
+        has_aggregate = any(_contains_count(item.expr) for item in query.returns)
+        rows = self._project(query, bindings_list)
+        # For non-aggregated queries ORDER BY may reference expressions
+        # that were not projected (m.year when only m.name is returned),
+        # so keep the source bindings alongside each row for sorting.
+        sources: list[Bindings | None]
+        sources = [None] * len(rows) if has_aggregate else list(bindings_list)
+        paired = list(zip(rows, sources))
+
+        for expr, ascending in reversed(query.order_by):
+            paired.sort(
+                key=lambda pair: _sort_key(self._order_value(expr, *pair)),
+                reverse=not ascending,
+            )
+        rows = [row for row, _b in paired]
+        if query.distinct:
+            rows = _distinct(rows)
+        if query.skip:
+            rows = rows[query.skip :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    def _order_value(
+        self, expr: ast.Expr, row: ResultRow, bindings: Bindings | None
+    ) -> object:
+        try:
+            return self._eval_projected(expr, row)
+        except CypherRuntimeError:
+            if bindings is None:
+                raise
+            return self._eval(expr, bindings)
+
+    # -- path matching ---------------------------------------------------------
+
+    def _match_path(
+        self, path: ast.PathPattern, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        # Choose the most selective anchor among unbound node patterns.
+        anchor = self._anchor_index(path, bindings)
+        anchor_pattern = path.nodes[anchor]
+        for node in self._candidates(anchor_pattern, bindings):
+            start = dict(bindings)
+            if not self._bind_node(anchor_pattern, node, start):
+                continue
+            yield from self._expand(path, anchor, anchor, start, node, node)
+
+    def _expand(
+        self,
+        path: ast.PathPattern,
+        left: int,
+        right: int,
+        bindings: Bindings,
+        left_node: Node,
+        right_node: Node,
+    ) -> Iterator[Bindings]:
+        """Grow the partial match outward from [left, right]."""
+        if left == 0 and right == len(path.nodes) - 1:
+            yield bindings
+            return
+        if right < len(path.nodes) - 1:
+            rel = path.rels[right]
+            target_pattern = path.nodes[right + 1]
+            for edge, neighbor in self._reachable(right_node, rel, forward=True):
+                new_bindings = dict(bindings)
+                if not self._bind_node(target_pattern, neighbor, new_bindings):
+                    continue
+                if edge is not None and not self._bind_rel(rel, edge, new_bindings):
+                    continue
+                yield from self._expand(
+                    path, left, right + 1, new_bindings, left_node, neighbor
+                )
+            return
+        # extend to the left
+        rel = path.rels[left - 1]
+        target_pattern = path.nodes[left - 1]
+        for edge, neighbor in self._reachable(left_node, rel, forward=False):
+            new_bindings = dict(bindings)
+            if not self._bind_node(target_pattern, neighbor, new_bindings):
+                continue
+            if edge is not None and not self._bind_rel(rel, edge, new_bindings):
+                continue
+            yield from self._expand(
+                path, left - 1, right, new_bindings, neighbor, right_node
+            )
+
+    def _reachable(
+        self, node: Node, rel: ast.RelPattern, forward: bool
+    ) -> Iterator[tuple[Edge | None, Node]]:
+        """Pattern-consistent neighbours; multi-hop for ``*m..n``.
+
+        Variable-length expansion walks node-distinct paths (Cypher's
+        uniqueness semantics, approximated at node granularity) and
+        yields each endpoint reachable within the hop range once, with
+        ``None`` in the edge slot (such patterns cannot bind an edge
+        variable).
+        """
+        if not rel.is_variable_length:
+            yield from self._adjacent(node, rel, forward)
+            return
+        seen: set[int] = {node.node_id}
+        frontier: list[Node] = [node]
+        if rel.min_hops == 0:
+            yield None, node
+        for depth in range(1, rel.max_hops + 1):
+            next_frontier: list[Node] = []
+            for current in frontier:
+                for _edge, neighbor in self._adjacent(current, rel, forward):
+                    if neighbor.node_id in seen:
+                        continue
+                    seen.add(neighbor.node_id)
+                    next_frontier.append(neighbor)
+                    if depth >= rel.min_hops:
+                        yield None, neighbor
+            frontier = next_frontier
+            if not frontier:
+                return
+
+    def _adjacent(
+        self, node: Node, rel: ast.RelPattern, forward: bool
+    ) -> Iterator[tuple[Edge, Node]]:
+        """Edges leaving ``node`` consistent with the pattern direction.
+
+        ``forward`` means the pattern is read left-to-right from this
+        node; the rel direction applies relative to the reading order.
+        """
+        direction = rel.direction
+        if not forward:
+            direction = {"out": "in", "in": "out"}.get(direction, "any")
+        if direction in ("out", "any"):
+            for edge in self.graph.out_edges(node.node_id, rel.rel_type):
+                yield edge, self.graph.node(edge.dst)
+        if direction in ("in", "any"):
+            for edge in self.graph.in_edges(node.node_id, rel.rel_type):
+                yield edge, self.graph.node(edge.src)
+
+    def _anchor_index(self, path: ast.PathPattern, bindings: Bindings) -> int:
+        best = 0
+        best_score = -1.0
+        for index, pattern in enumerate(path.nodes):
+            if pattern.variable and pattern.variable in bindings:
+                return index  # already bound: cheapest possible anchor
+            score = 0.0
+            if pattern.properties:
+                score += 2.0
+            if pattern.label:
+                score += 1.0
+            if score > best_score:
+                best, best_score = index, score
+        return best
+
+    def _candidates(
+        self, pattern: ast.NodePattern, bindings: Bindings
+    ) -> Iterator[Node]:
+        if pattern.variable and pattern.variable in bindings:
+            value = bindings[pattern.variable]
+            if isinstance(value, Node):
+                yield value
+            return
+        if pattern.properties:
+            yield from self.graph.find_nodes(
+                pattern.label, **dict(pattern.properties)
+            )
+            return
+        yield from self.graph.nodes(pattern.label)
+
+    def _bind_node(
+        self, pattern: ast.NodePattern, node: Node, bindings: Bindings
+    ) -> bool:
+        if pattern.label and node.label != pattern.label:
+            return False
+        for key, value in pattern.properties:
+            if node.properties.get(key) != value:
+                return False
+        if pattern.variable:
+            existing = bindings.get(pattern.variable)
+            if existing is not None:
+                return isinstance(existing, Node) and existing.node_id == node.node_id
+            bindings[pattern.variable] = node
+        return True
+
+    def _bind_rel(
+        self, pattern: ast.RelPattern, edge: Edge, bindings: Bindings
+    ) -> bool:
+        if pattern.rel_type and edge.type != pattern.rel_type:
+            return False
+        if pattern.variable:
+            existing = bindings.get(pattern.variable)
+            if existing is not None:
+                return isinstance(existing, Edge) and existing.edge_id == edge.edge_id
+            bindings[pattern.variable] = edge
+        return True
+
+    # -- projection / aggregation -------------------------------------------------
+
+    def _project(
+        self, query: ast.MatchQuery, bindings_list: list[Bindings]
+    ) -> list[ResultRow]:
+        has_aggregate = any(_contains_count(item.expr) for item in query.returns)
+        if not has_aggregate:
+            return [
+                ResultRow(
+                    {
+                        item.alias: self._eval(item.expr, bindings)
+                        for item in query.returns
+                    }
+                )
+                for bindings in bindings_list
+            ]
+
+        group_items = [i for i in query.returns if not _contains_count(i.expr)]
+        agg_items = [i for i in query.returns if _contains_count(i.expr)]
+        if not group_items and not bindings_list:
+            # Global aggregates over an empty match still yield one row
+            # (Cypher semantics: count() of nothing is 0).
+            return [
+                ResultRow(
+                    {item.alias: self._eval_aggregate(item.expr, []) for item in agg_items}
+                )
+            ]
+        groups: dict[tuple, list[Bindings]] = {}
+        for bindings in bindings_list:
+            key = tuple(
+                _hashable(self._eval(item.expr, bindings)) for item in group_items
+            )
+            groups.setdefault(key, []).append(bindings)
+
+        rows: list[ResultRow] = []
+        for key, members in groups.items():
+            values: dict[str, object] = {}
+            for item, key_value in zip(group_items, key):
+                values[item.alias] = _unhash(key_value, self._eval(item.expr, members[0]))
+            for item in agg_items:
+                values[item.alias] = self._eval_aggregate(item.expr, members)
+            rows.append(ResultRow(values))
+        return rows
+
+    def _eval_aggregate(self, expr: ast.Expr, members: list[Bindings]) -> object:
+        if isinstance(expr, ast.Collect):
+            values = []
+            seen: list[object] = []
+            for bindings in members:
+                value = self._eval(expr.operand, bindings)
+                if value is None:
+                    continue
+                if expr.distinct:
+                    key = _hashable(value)
+                    if key in seen:
+                        continue
+                    seen.append(key)
+                values.append(value)
+            return values
+        if isinstance(expr, ast.Count):
+            if expr.operand is None:
+                return len(members)
+            seen = []
+            count = 0
+            for bindings in members:
+                value = self._eval(expr.operand, bindings)
+                if value is None:
+                    continue
+                if expr.distinct:
+                    key = _hashable(value)
+                    if key in seen:
+                        continue
+                    seen.append(key)
+                count += 1
+            return count
+        raise CypherRuntimeError(f"unsupported aggregate expression: {expr}")
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, bindings: Bindings) -> object:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ListLiteral):
+            return [self._eval(item, bindings) for item in expr.items]
+        if isinstance(expr, ast.Variable):
+            if expr.name not in bindings:
+                raise CypherRuntimeError(f"unbound variable {expr.name!r}")
+            return bindings[expr.name]
+        if isinstance(expr, ast.Property):
+            value = bindings.get(expr.variable)
+            if value is None:
+                raise CypherRuntimeError(f"unbound variable {expr.variable!r}")
+            if isinstance(value, (Node, Edge)):
+                return value.properties.get(expr.key)
+            raise CypherRuntimeError(
+                f"{expr.variable!r} is not a node or relationship"
+            )
+        if isinstance(expr, ast.And):
+            return _truthy(self._eval(expr.left, bindings)) and _truthy(
+                self._eval(expr.right, bindings)
+            )
+        if isinstance(expr, ast.Or):
+            return _truthy(self._eval(expr.left, bindings)) or _truthy(
+                self._eval(expr.right, bindings)
+            )
+        if isinstance(expr, ast.Not):
+            return not _truthy(self._eval(expr.operand, bindings))
+        if isinstance(expr, ast.Compare):
+            return self._eval_compare(expr, bindings)
+        if isinstance(expr, (ast.Count, ast.Collect)):
+            raise CypherRuntimeError("aggregates are only allowed in RETURN")
+        raise CypherRuntimeError(f"cannot evaluate {expr!r}")
+
+    def _eval_compare(self, expr: ast.Compare, bindings: Bindings) -> bool:
+        left = self._eval(expr.left, bindings)
+        if expr.op == "IS NULL":
+            return left is None
+        if expr.op == "IS NOT NULL":
+            return left is not None
+        right = self._eval(expr.right, bindings)
+        if expr.op == "=":
+            return left == right
+        if expr.op == "<>":
+            return left != right
+        if expr.op == "IN":
+            return left in (right or [])
+        if left is None or right is None:
+            return False
+        if expr.op == "CONTAINS":
+            return str(right) in str(left)
+        if expr.op == "STARTS WITH":
+            return str(left).startswith(str(right))
+        if expr.op == "ENDS WITH":
+            return str(left).endswith(str(right))
+        try:
+            if expr.op == "<":
+                return left < right
+            if expr.op == ">":
+                return left > right
+            if expr.op == "<=":
+                return left <= right
+            if expr.op == ">=":
+                return left >= right
+        except TypeError as error:
+            raise CypherRuntimeError(str(error)) from None
+        raise CypherRuntimeError(f"unknown operator {expr.op!r}")
+
+    def _eval_projected(self, expr: ast.Expr, row: ResultRow) -> object:
+        """Evaluate an ORDER BY expression against a projected row.
+
+        ORDER BY may reference return aliases or projected variables.
+        """
+        if isinstance(expr, ast.Variable) and expr.name in row.values:
+            return row.values[expr.name]
+        if isinstance(expr, ast.Property):
+            base = row.values.get(expr.variable)
+            if isinstance(base, (Node, Edge)):
+                return base.properties.get(expr.key)
+            alias = f"{expr.variable}.{expr.key}"
+            if alias in row.values:
+                return row.values[alias]
+        if isinstance(expr, ast.Count):
+            return row.values.get("count")
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        raise CypherRuntimeError(
+            "ORDER BY expressions must reference returned values"
+        )
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _truthy(value: object) -> bool:
+    return bool(value)
+
+
+def _contains_count(expr: ast.Expr) -> bool:
+    """Whether an expression contains an aggregate (count or collect)."""
+    if isinstance(expr, (ast.Count, ast.Collect)):
+        return True
+    if isinstance(expr, (ast.And, ast.Or)):
+        return _contains_count(expr.left) or _contains_count(expr.right)
+    if isinstance(expr, ast.Not):
+        return _contains_count(expr.operand)
+    if isinstance(expr, ast.Compare):
+        return _contains_count(expr.left) or (
+            expr.right is not None and _contains_count(expr.right)
+        )
+    return False
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, Node):
+        return ("__node__", value.node_id)
+    if isinstance(value, Edge):
+        return ("__edge__", value.edge_id)
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+def _unhash(key: object, original: object) -> object:
+    del key
+    return original
+
+
+def _distinct(rows: list[ResultRow]) -> list[ResultRow]:
+    seen: set = set()
+    out: list[ResultRow] = []
+    for row in rows:
+        key = tuple(sorted((k, _hashable(v)) for k, v in row.values.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def _sort_key(value: object):
+    # None sorts first; mixed types sort by type name then value string.
+    return (value is not None, type(value).__name__, str(value))
+
+
+__all__ = ["CypherEngine", "CypherRuntimeError", "CypherSyntaxError", "ResultRow"]

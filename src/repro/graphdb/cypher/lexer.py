@@ -1,0 +1,119 @@
+"""Cypher lexer.
+
+Tokenizes the Cypher subset used by SecurityKG: MATCH / WHERE /
+RETURN / CREATE queries with node-and-relationship patterns,
+comparisons, boolean operators, string predicates and
+ORDER BY / SKIP / LIMIT.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+
+class CypherSyntaxError(ValueError):
+    """Lexical or grammatical error in a Cypher query."""
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "MATCH",
+        "WHERE",
+        "RETURN",
+        "CREATE",
+        "ORDER",
+        "BY",
+        "LIMIT",
+        "SKIP",
+        "AND",
+        "OR",
+        "NOT",
+        "AS",
+        "DISTINCT",
+        "ASC",
+        "DESC",
+        "IN",
+        "CONTAINS",
+        "STARTS",
+        "ENDS",
+        "WITH",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "COUNT",
+        "COLLECT",
+        "IS",
+    }
+)
+
+#: Multi-character symbols first so maximal munch applies.
+_SYMBOLS = ("<=", ">=", "<>", "->", "<-", "(", ")", "[", "]", "{", "}",
+            ":", ",", ".", "-", ">", "<", "=", "*")
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+    | (?P<number>\d+(?:\.\d+)?)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<symbol><=|>=|<>|->|<-|[()\[\]{}:,.\-<>=*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+def tokenize(query: str) -> list[Token]:
+    """Lex a query string; raises :class:`CypherSyntaxError` on junk."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(query):
+        match = _TOKEN_RE.match(query, pos)
+        if match is None:
+            raise CypherSyntaxError(
+                f"unexpected character {query[pos]!r} at offset {pos}"
+            )
+        pos = match.end()
+        if match.group("ws"):
+            continue
+        if match.group("string") is not None:
+            raw = match.group("string")
+            value = raw[1:-1].replace('\\"', '"').replace("\\'", "'").replace(
+                "\\\\", "\\"
+            )
+            tokens.append(Token(TokenType.STRING, value, match.start()))
+        elif match.group("number") is not None:
+            tokens.append(Token(TokenType.NUMBER, match.group("number"), match.start()))
+        elif match.group("ident") is not None:
+            word = match.group("ident")
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), match.start()))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, match.start()))
+        else:
+            tokens.append(Token(TokenType.SYMBOL, match.group("symbol"), match.start()))
+    tokens.append(Token(TokenType.EOF, "", len(query)))
+    return tokens
+
+
+__all__ = ["CypherSyntaxError", "KEYWORDS", "Token", "TokenType", "tokenize"]

@@ -1,0 +1,403 @@
+"""Recursive-descent parser for the Cypher subset.
+
+Grammar (informal)::
+
+    query      := match_query | create_query
+    match_query:= MATCH pattern (WHERE expr)? RETURN (DISTINCT)? items
+                  (ORDER BY order_items)? (SKIP n)? (LIMIT n)?
+    create_query := CREATE pattern
+    pattern    := path (',' path)*
+    path       := node (rel node)*
+    node       := '(' IDENT? (':' IDENT)? props? ')'
+    rel        := '-[' IDENT? (':' IDENT)? ']->' | '<-[' ... ']-' | '-[' ... ']-'
+    props      := '{' IDENT ':' literal (',' IDENT ':' literal)* '}'
+    expr       := or_expr;  standard precedence OR < AND < NOT < cmp
+    cmp        := sum (('='|'<>'|'<'|'>'|'<='|'>='|IN|CONTAINS|
+                        STARTS WITH|ENDS WITH) sum)?
+                | sum IS (NOT)? NULL
+    primary    := literal | list | count | property | variable | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.cypher import ast
+from repro.graphdb.cypher.lexer import (
+    CypherSyntaxError,
+    Token,
+    TokenType,
+    tokenize,
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def check(self, token_type: TokenType, value: str | None = None) -> bool:
+        token = self.peek()
+        if token.type is not token_type:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self.check(token_type, value):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self.accept(token_type, value)
+        if token is None:
+            actual = self.peek()
+            wanted = value or token_type.value
+            raise CypherSyntaxError(
+                f"expected {wanted!r} at offset {actual.position}, "
+                f"found {actual.value!r}"
+            )
+        return token
+
+    # -- entry ------------------------------------------------------------
+
+    def parse(self) -> ast.Query:
+        if self.check(TokenType.KEYWORD, "MATCH"):
+            query = self.match_query()
+        elif self.check(TokenType.KEYWORD, "CREATE"):
+            query = self.create_query()
+        else:
+            raise CypherSyntaxError("query must start with MATCH or CREATE")
+        self.expect(TokenType.EOF)
+        return query
+
+    def match_query(self) -> ast.MatchQuery:
+        self.expect(TokenType.KEYWORD, "MATCH")
+        paths = self.pattern()
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.expression()
+        self.expect(TokenType.KEYWORD, "RETURN")
+        distinct = self.accept(TokenType.KEYWORD, "DISTINCT") is not None
+        returns = self.return_items()
+        order_by: list[tuple[ast.Expr, bool]] = []
+        if self.accept(TokenType.KEYWORD, "ORDER"):
+            self.expect(TokenType.KEYWORD, "BY")
+            while True:
+                expr = self.expression()
+                ascending = True
+                if self.accept(TokenType.KEYWORD, "DESC"):
+                    ascending = False
+                else:
+                    self.accept(TokenType.KEYWORD, "ASC")
+                order_by.append((expr, ascending))
+                if not self.accept(TokenType.SYMBOL, ","):
+                    break
+        skip = limit = None
+        if self.accept(TokenType.KEYWORD, "SKIP"):
+            skip = int(self.expect(TokenType.NUMBER).value)
+        if self.accept(TokenType.KEYWORD, "LIMIT"):
+            limit = int(self.expect(TokenType.NUMBER).value)
+        return ast.MatchQuery(
+            paths=paths,
+            where=where,
+            returns=returns,
+            distinct=distinct,
+            order_by=order_by,
+            skip=skip,
+            limit=limit,
+        )
+
+    def create_query(self) -> ast.CreateQuery:
+        self.expect(TokenType.KEYWORD, "CREATE")
+        return ast.CreateQuery(paths=self.pattern())
+
+    # -- patterns --------------------------------------------------------------
+
+    def pattern(self) -> list[ast.PathPattern]:
+        paths = [self.path()]
+        while self.accept(TokenType.SYMBOL, ","):
+            paths.append(self.path())
+        return paths
+
+    def path(self) -> ast.PathPattern:
+        nodes = [self.node_pattern()]
+        rels: list[ast.RelPattern] = []
+        while self.check(TokenType.SYMBOL, "-") or self.check(
+            TokenType.SYMBOL, "<-"
+        ):
+            rels.append(self.rel_pattern())
+            nodes.append(self.node_pattern())
+        return ast.PathPattern(nodes=tuple(nodes), rels=tuple(rels))
+
+    def node_pattern(self) -> ast.NodePattern:
+        self.expect(TokenType.SYMBOL, "(")
+        variable = None
+        label = None
+        token = self.accept(TokenType.IDENT)
+        if token is not None:
+            variable = token.value
+        if self.accept(TokenType.SYMBOL, ":"):
+            label = self._name()
+        properties: tuple[tuple[str, object], ...] = ()
+        if self.check(TokenType.SYMBOL, "{"):
+            properties = self.property_map()
+        self.expect(TokenType.SYMBOL, ")")
+        return ast.NodePattern(variable=variable, label=label, properties=properties)
+
+    def _name(self) -> str:
+        token = self.peek()
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self.advance()
+            return token.value
+        raise CypherSyntaxError(
+            f"expected a name at offset {token.position}, found {token.value!r}"
+        )
+
+    def rel_pattern(self) -> ast.RelPattern:
+        direction = "any"
+        if self.accept(TokenType.SYMBOL, "<-"):
+            direction = "in"
+        else:
+            self.expect(TokenType.SYMBOL, "-")
+        variable = None
+        rel_type = None
+        min_hops = max_hops = 1
+        if self.accept(TokenType.SYMBOL, "["):
+            token = self.accept(TokenType.IDENT)
+            if token is not None:
+                variable = token.value
+            if self.accept(TokenType.SYMBOL, ":"):
+                rel_type = self._name()
+            if self.accept(TokenType.SYMBOL, "*"):
+                min_hops, max_hops = self._hop_range()
+            self.expect(TokenType.SYMBOL, "]")
+        if self.accept(TokenType.SYMBOL, "->"):
+            if direction == "in":
+                raise CypherSyntaxError("relationship cannot point both ways")
+            direction = "out"
+        else:
+            self.expect(TokenType.SYMBOL, "-")
+        if (min_hops, max_hops) != (1, 1) and variable is not None:
+            raise CypherSyntaxError(
+                "variable-length relationships cannot bind a variable"
+            )
+        return ast.RelPattern(
+            variable=variable,
+            rel_type=rel_type,
+            direction=direction,
+            min_hops=min_hops,
+            max_hops=max_hops,
+        )
+
+    #: upper bound for an unbounded ``*`` (keeps traversal finite).
+    DEFAULT_MAX_HOPS = 5
+
+    def _hop_range(self) -> tuple[int, int]:
+        """Parse the range after ``*``: ``*``, ``*n``, ``*n..m``, ``*..m``."""
+        low = None
+        token = self.accept(TokenType.NUMBER)
+        if token is not None:
+            low = int(token.value)
+        if self.accept(TokenType.SYMBOL, "."):
+            self.expect(TokenType.SYMBOL, ".")
+            token = self.accept(TokenType.NUMBER)
+            high = int(token.value) if token is not None else self.DEFAULT_MAX_HOPS
+            low = 1 if low is None else low
+        elif low is not None:
+            high = low  # '*n' means exactly n hops
+        else:
+            low, high = 1, self.DEFAULT_MAX_HOPS  # bare '*'
+        if low < 0 or high < low:
+            raise CypherSyntaxError(f"invalid hop range *{low}..{high}")
+        return low, high
+
+    def property_map(self) -> tuple[tuple[str, object], ...]:
+        self.expect(TokenType.SYMBOL, "{")
+        pairs: list[tuple[str, object]] = []
+        if not self.check(TokenType.SYMBOL, "}"):
+            while True:
+                key = self._name()
+                self.expect(TokenType.SYMBOL, ":")
+                pairs.append((key, self._literal_value()))
+                if not self.accept(TokenType.SYMBOL, ","):
+                    break
+        self.expect(TokenType.SYMBOL, "}")
+        return tuple(pairs)
+
+    def _literal_value(self) -> object:
+        token = self.peek()
+        if token.type is TokenType.STRING:
+            self.advance()
+            return token.value
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.KEYWORD and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return token.value == "TRUE"
+        if token.type is TokenType.KEYWORD and token.value == "NULL":
+            self.advance()
+            return None
+        raise CypherSyntaxError(
+            f"expected a literal at offset {token.position}, found {token.value!r}"
+        )
+
+    # -- RETURN ------------------------------------------------------------------
+
+    def return_items(self) -> list[ast.ReturnItem]:
+        items = [self.return_item()]
+        while self.accept(TokenType.SYMBOL, ","):
+            items.append(self.return_item())
+        return items
+
+    def return_item(self) -> ast.ReturnItem:
+        expr = self.expression()
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = self._name()
+        if alias is None:
+            alias = _default_alias(expr)
+        return ast.ReturnItem(expr=expr, alias=alias)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expr:
+        left = self.and_expr()
+        while self.accept(TokenType.KEYWORD, "OR"):
+            left = ast.Or(left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expr:
+        left = self.not_expr()
+        while self.accept(TokenType.KEYWORD, "AND"):
+            left = ast.And(left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expr:
+        if self.accept(TokenType.KEYWORD, "NOT"):
+            return ast.Not(self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> ast.Expr:
+        left = self.primary()
+        token = self.peek()
+        if token.type is TokenType.SYMBOL and token.value in (
+            "=",
+            "<>",
+            "<",
+            ">",
+            "<=",
+            ">=",
+        ):
+            self.advance()
+            return ast.Compare(token.value, left, self.primary())
+        if token.type is TokenType.KEYWORD and token.value == "IN":
+            self.advance()
+            return ast.Compare("IN", left, self.primary())
+        if token.type is TokenType.KEYWORD and token.value == "CONTAINS":
+            self.advance()
+            return ast.Compare("CONTAINS", left, self.primary())
+        if token.type is TokenType.KEYWORD and token.value == "STARTS":
+            self.advance()
+            self.expect(TokenType.KEYWORD, "WITH")
+            return ast.Compare("STARTS WITH", left, self.primary())
+        if token.type is TokenType.KEYWORD and token.value == "ENDS":
+            self.advance()
+            self.expect(TokenType.KEYWORD, "WITH")
+            return ast.Compare("ENDS WITH", left, self.primary())
+        if token.type is TokenType.KEYWORD and token.value == "IS":
+            self.advance()
+            if self.accept(TokenType.KEYWORD, "NOT"):
+                self.expect(TokenType.KEYWORD, "NULL")
+                return ast.Compare("IS NOT NULL", left, None)
+            self.expect(TokenType.KEYWORD, "NULL")
+            return ast.Compare("IS NULL", left, None)
+        return left
+
+    def primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value)
+        if token.type is TokenType.KEYWORD and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return ast.Literal(token.value == "TRUE")
+        if token.type is TokenType.KEYWORD and token.value == "NULL":
+            self.advance()
+            return ast.Literal(None)
+        if token.type is TokenType.KEYWORD and token.value == "COUNT":
+            self.advance()
+            self.expect(TokenType.SYMBOL, "(")
+            if self.accept(TokenType.SYMBOL, "*"):
+                self.expect(TokenType.SYMBOL, ")")
+                return ast.Count(None)
+            distinct = self.accept(TokenType.KEYWORD, "DISTINCT") is not None
+            operand = self.expression()
+            self.expect(TokenType.SYMBOL, ")")
+            return ast.Count(operand, distinct=distinct)
+        if token.type is TokenType.KEYWORD and token.value == "COLLECT":
+            self.advance()
+            self.expect(TokenType.SYMBOL, "(")
+            distinct = self.accept(TokenType.KEYWORD, "DISTINCT") is not None
+            operand = self.expression()
+            self.expect(TokenType.SYMBOL, ")")
+            return ast.Collect(operand, distinct=distinct)
+        if token.type is TokenType.SYMBOL and token.value == "[":
+            self.advance()
+            items: list[ast.Expr] = []
+            if not self.check(TokenType.SYMBOL, "]"):
+                while True:
+                    items.append(self.expression())
+                    if not self.accept(TokenType.SYMBOL, ","):
+                        break
+            self.expect(TokenType.SYMBOL, "]")
+            return ast.ListLiteral(tuple(items))
+        if token.type is TokenType.SYMBOL and token.value == "(":
+            self.advance()
+            expr = self.expression()
+            self.expect(TokenType.SYMBOL, ")")
+            return expr
+        if token.type is TokenType.IDENT:
+            self.advance()
+            if self.accept(TokenType.SYMBOL, "."):
+                key = self._name()
+                return ast.Property(token.value, key)
+            return ast.Variable(token.value)
+        raise CypherSyntaxError(
+            f"unexpected token {token.value!r} at offset {token.position}"
+        )
+
+
+def _default_alias(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Variable):
+        return expr.name
+    if isinstance(expr, ast.Property):
+        return f"{expr.variable}.{expr.key}"
+    if isinstance(expr, ast.Count):
+        return "count"
+    if isinstance(expr, ast.Collect):
+        return "collect"
+    return "expr"
+
+
+def parse(query: str) -> ast.Query:
+    """Parse a Cypher query string into an AST."""
+    return _Parser(tokenize(query)).parse()
+
+
+__all__ = ["parse"]

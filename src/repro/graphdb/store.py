@@ -1,0 +1,307 @@
+"""In-process property graph store.
+
+The Neo4j substitute at the heart of the storage stage: labelled
+nodes and typed, directed edges, both carrying free-form properties.
+The store maintains the indexes the workload needs -- label index,
+(label, property, value) index, and adjacency lists in both directions
+-- and is safe for concurrent readers with single-writer semantics.
+
+Persistence (snapshot + write-ahead log) lives in
+:mod:`repro.graphdb.wal`; query processing in
+:mod:`repro.graphdb.cypher`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass
+class Node:
+    """A graph node: integer id, one label, property map."""
+
+    node_id: int
+    label: str
+    properties: dict[str, object] = field(default_factory=dict)
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.properties.get(key, default)
+
+
+@dataclass
+class Edge:
+    """A directed, typed edge with properties."""
+
+    edge_id: int
+    type: str
+    src: int
+    dst: int
+    properties: dict[str, object] = field(default_factory=dict)
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.properties.get(key, default)
+
+
+#: Property names that participate in the (label, key, value) index.
+INDEXED_PROPERTIES: frozenset[str] = frozenset(
+    {"name", "merge_key", "report_id", "source"}
+)
+
+
+class PropertyGraph:
+    """Mutable property graph with label/property/adjacency indexes."""
+
+    def __init__(self):
+        self._nodes: dict[int, Node] = {}
+        self._edges: dict[int, Edge] = {}
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+        self._label_index: dict[str, set[int]] = {}
+        self._property_index: dict[tuple[str, str, object], set[int]] = {}
+        self._node_ids = itertools.count(1)
+        self._edge_ids = itertools.count(1)
+        self._lock = threading.RLock()
+
+    # -- node operations ------------------------------------------------
+
+    def create_node(
+        self, label: str, properties: dict[str, object] | None = None
+    ) -> Node:
+        """Insert a node and index it; returns the stored node."""
+        with self._lock:
+            node = Node(next(self._node_ids), label, dict(properties or {}))
+            self._nodes[node.node_id] = node
+            self._out[node.node_id] = []
+            self._in[node.node_id] = []
+            self._label_index.setdefault(label, set()).add(node.node_id)
+            self._index_node_properties(node)
+            return node
+
+    def restore_node(
+        self, node_id: int, label: str, properties: dict[str, object]
+    ) -> Node:
+        """Re-insert a node with its original id (snapshot recovery).
+
+        The id counter advances past ``node_id`` so later inserts never
+        collide.
+        """
+        with self._lock:
+            if node_id in self._nodes:
+                raise KeyError(f"node {node_id} already exists")
+            node = Node(node_id, label, dict(properties))
+            self._nodes[node_id] = node
+            self._out[node_id] = []
+            self._in[node_id] = []
+            self._label_index.setdefault(label, set()).add(node_id)
+            self._index_node_properties(node)
+            self._node_ids = itertools.count(
+                max(node_id + 1, next(self._node_ids))
+            )
+            return node
+
+    def _index_node_properties(self, node: Node) -> None:
+        for key, value in node.properties.items():
+            if key in INDEXED_PROPERTIES and isinstance(value, (str, int, float, bool)):
+                self._property_index.setdefault(
+                    (node.label, key, value), set()
+                ).add(node.node_id)
+
+    def _deindex_node_properties(self, node: Node) -> None:
+        for key, value in node.properties.items():
+            if key in INDEXED_PROPERTIES and isinstance(value, (str, int, float, bool)):
+                bucket = self._property_index.get((node.label, key, value))
+                if bucket:
+                    bucket.discard(node.node_id)
+
+    def node(self, node_id: int) -> Node:
+        """Fetch a node by id; raises ``KeyError`` when absent."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"no node {node_id}")
+        return node
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def set_node_properties(self, node_id: int, properties: dict[str, object]) -> Node:
+        """Merge properties into a node (re-indexing as needed)."""
+        with self._lock:
+            node = self.node(node_id)
+            self._deindex_node_properties(node)
+            node.properties.update(properties)
+            self._index_node_properties(node)
+            return node
+
+    def delete_node(self, node_id: int) -> None:
+        """Remove a node and every edge touching it."""
+        with self._lock:
+            node = self.node(node_id)
+            for edge_id in list(self._out[node_id]) + list(self._in[node_id]):
+                if edge_id in self._edges:
+                    self.delete_edge(edge_id)
+            self._deindex_node_properties(node)
+            self._label_index.get(node.label, set()).discard(node_id)
+            del self._out[node_id]
+            del self._in[node_id]
+            del self._nodes[node_id]
+
+    # -- edge operations ---------------------------------------------------
+
+    def create_edge(
+        self,
+        src: int,
+        edge_type: str,
+        dst: int,
+        properties: dict[str, object] | None = None,
+    ) -> Edge:
+        """Insert a directed edge; endpoints must exist."""
+        with self._lock:
+            if src not in self._nodes:
+                raise KeyError(f"no source node {src}")
+            if dst not in self._nodes:
+                raise KeyError(f"no target node {dst}")
+            edge = Edge(next(self._edge_ids), edge_type, src, dst, dict(properties or {}))
+            self._edges[edge.edge_id] = edge
+            self._out[src].append(edge.edge_id)
+            self._in[dst].append(edge.edge_id)
+            return edge
+
+    def has_edge(self, edge_id: int) -> bool:
+        return edge_id in self._edges
+
+    def edge(self, edge_id: int) -> Edge:
+        edge = self._edges.get(edge_id)
+        if edge is None:
+            raise KeyError(f"no edge {edge_id}")
+        return edge
+
+    def delete_edge(self, edge_id: int) -> None:
+        with self._lock:
+            edge = self.edge(edge_id)
+            self._out[edge.src].remove(edge_id)
+            self._in[edge.dst].remove(edge_id)
+            del self._edges[edge_id]
+
+    def set_edge_properties(self, edge_id: int, properties: dict[str, object]) -> Edge:
+        with self._lock:
+            edge = self.edge(edge_id)
+            edge.properties.update(properties)
+            return edge
+
+    # -- lookups -----------------------------------------------------------
+
+    def nodes(self, label: str | None = None) -> Iterator[Node]:
+        """All nodes, optionally restricted to one label."""
+        if label is None:
+            yield from list(self._nodes.values())
+            return
+        for node_id in sorted(self._label_index.get(label, ())):
+            node = self._nodes.get(node_id)
+            if node is not None:
+                yield node
+
+    def edges(self, edge_type: str | None = None) -> Iterator[Edge]:
+        for edge in list(self._edges.values()):
+            if edge_type is None or edge.type == edge_type:
+                yield edge
+
+    def find_nodes(
+        self, label: str | None = None, **properties: object
+    ) -> list[Node]:
+        """Nodes matching a label and exact property values.
+
+        Uses the (label, key, value) index when possible, scanning
+        otherwise.
+        """
+        candidates: Iterable[Node]
+        indexed = [
+            (key, value)
+            for key, value in properties.items()
+            if key in INDEXED_PROPERTIES and label is not None
+        ]
+        if indexed:
+            key, value = indexed[0]
+            ids = self._property_index.get((label, key, value), set())
+            candidates = [self._nodes[i] for i in sorted(ids) if i in self._nodes]
+        else:
+            candidates = self.nodes(label)
+        return [
+            node
+            for node in candidates
+            if all(node.properties.get(k) == v for k, v in properties.items())
+        ]
+
+    def find_node(self, label: str | None = None, **properties: object) -> Node | None:
+        """First match of :meth:`find_nodes`, or ``None``."""
+        matches = self.find_nodes(label, **properties)
+        return matches[0] if matches else None
+
+    # -- adjacency ------------------------------------------------------------
+
+    def out_edges(self, node_id: int, edge_type: str | None = None) -> list[Edge]:
+        return [
+            self._edges[e]
+            for e in self._out.get(node_id, ())
+            if edge_type is None or self._edges[e].type == edge_type
+        ]
+
+    def in_edges(self, node_id: int, edge_type: str | None = None) -> list[Edge]:
+        return [
+            self._edges[e]
+            for e in self._in.get(node_id, ())
+            if edge_type is None or self._edges[e].type == edge_type
+        ]
+
+    def neighbors(
+        self,
+        node_id: int,
+        edge_type: str | None = None,
+        direction: str = "both",
+    ) -> list[Node]:
+        """Adjacent nodes (deduplicated, stable order)."""
+        seen: set[int] = set()
+        result: list[Node] = []
+        if direction in ("out", "both"):
+            for edge in self.out_edges(node_id, edge_type):
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    result.append(self._nodes[edge.dst])
+        if direction in ("in", "both"):
+            for edge in self.in_edges(node_id, edge_type):
+                if edge.src not in seen:
+                    seen.add(edge.src)
+                    result.append(self._nodes[edge.src])
+        return result
+
+    def degree(self, node_id: int) -> int:
+        return len(self._out.get(node_id, ())) + len(self._in.get(node_id, ()))
+
+    # -- stats -------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def label_counts(self) -> dict[str, int]:
+        """Node count per label (empty labels omitted)."""
+        return {
+            label: len(ids)
+            for label, ids in sorted(self._label_index.items())
+            if ids
+        }
+
+    def edge_type_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for edge in self._edges.values():
+            counts[edge.type] = counts.get(edge.type, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+__all__ = ["Edge", "INDEXED_PROPERTIES", "Node", "PropertyGraph"]

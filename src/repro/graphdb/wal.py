@@ -1,0 +1,284 @@
+"""Durability: write-ahead log and snapshots for the property graph.
+
+:class:`GraphDatabase` wraps a :class:`~repro.graphdb.store.PropertyGraph`
+with persistence: every mutation is appended to a JSON-lines WAL
+before being applied, snapshots compact the log, and opening a
+database replays ``snapshot + WAL`` to recover exactly the pre-crash
+state.  Transactions buffer mutations and append them atomically as
+one WAL batch record.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.graphdb.store import Edge, Node, PropertyGraph
+
+
+class TransactionError(Exception):
+    """Raised for misuse of the transaction API."""
+
+
+class Transaction:
+    """A buffered batch of mutations with commit/rollback semantics.
+
+    Reads inside a transaction see the *committed* state (snapshot-ish
+    isolation at batch granularity: this models the connector's
+    insert-batch-per-report behaviour, not full MVCC).  Node/edge ids
+    are assigned at commit; the transaction returns placeholder ids
+    that the commit maps to real ones.
+    """
+
+    def __init__(self, database: "GraphDatabase"):
+        self._db = database
+        self._ops: list[dict[str, object]] = []
+        self._next_placeholder = -1
+        self._closed = False
+
+    def _placeholder(self) -> int:
+        value = self._next_placeholder
+        self._next_placeholder -= 1
+        return value
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TransactionError("transaction already committed or rolled back")
+
+    def create_node(self, label: str, properties: dict[str, object] | None = None) -> int:
+        """Buffer a node insert; returns a placeholder id (< 0)."""
+        self._check_open()
+        ref = self._placeholder()
+        self._ops.append(
+            {"op": "create_node", "ref": ref, "label": label, "props": dict(properties or {})}
+        )
+        return ref
+
+    def create_edge(
+        self,
+        src: int,
+        edge_type: str,
+        dst: int,
+        properties: dict[str, object] | None = None,
+    ) -> None:
+        """Buffer an edge insert; endpoints may be placeholders."""
+        self._check_open()
+        self._ops.append(
+            {
+                "op": "create_edge",
+                "src": src,
+                "type": edge_type,
+                "dst": dst,
+                "props": dict(properties or {}),
+            }
+        )
+
+    def set_node_properties(self, node_id: int, properties: dict[str, object]) -> None:
+        self._check_open()
+        self._ops.append(
+            {"op": "set_node_props", "id": node_id, "props": dict(properties)}
+        )
+
+    def commit(self) -> dict[int, int]:
+        """Apply the batch; returns placeholder -> real node id."""
+        self._check_open()
+        self._closed = True
+        return self._db._commit(self._ops)
+
+    def rollback(self) -> None:
+        self._check_open()
+        self._closed = True
+        self._ops.clear()
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if self._closed:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+
+class GraphDatabase:
+    """Persistent property graph: snapshot + WAL + transactions.
+
+    Parameters
+    ----------
+    path:
+        Directory for ``snapshot.json`` and ``wal.jsonl``.  ``None``
+        keeps the database purely in memory (tests, benchmarks).
+    """
+
+    SNAPSHOT = "snapshot.json"
+    WAL = "wal.jsonl"
+
+    def __init__(self, path: str | Path | None = None):
+        self.graph = PropertyGraph()
+        self.path = Path(path) if path is not None else None
+        self._write_lock = threading.Lock()
+        self._wal_handle = None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._recover()
+            self._wal_handle = (self.path / self.WAL).open("a", encoding="utf-8")
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        snapshot_path = self.path / self.SNAPSHOT
+        if snapshot_path.exists():
+            self._load_snapshot(json.loads(snapshot_path.read_text()))
+        wal_path = self.path / self.WAL
+        if wal_path.exists():
+            valid_bytes = 0
+            with wal_path.open(encoding="utf-8") as handle:
+                for line in handle:
+                    stripped = line.strip()
+                    if stripped:
+                        try:
+                            record = json.loads(stripped)
+                        except json.JSONDecodeError:
+                            # A torn final record from a crash mid-append:
+                            # recover up to the last complete record and
+                            # truncate the tail (standard WAL recovery).
+                            break
+                        self._apply(record["ops"], log=False)
+                    valid_bytes += len(line.encode("utf-8"))
+            if valid_bytes < wal_path.stat().st_size:
+                with wal_path.open("r+b") as handle:
+                    handle.truncate(valid_bytes)
+
+    def _load_snapshot(self, data: dict) -> None:
+        # Node ids must survive restarts verbatim: WAL records written
+        # after the snapshot reference them.
+        graph = PropertyGraph()
+        for node_data in data.get("nodes", []):
+            graph.restore_node(
+                int(node_data["id"]), node_data["label"], node_data["props"]
+            )
+        for edge_data in data.get("edges", []):
+            graph.create_edge(
+                int(edge_data["src"]),
+                edge_data["type"],
+                int(edge_data["dst"]),
+                edge_data["props"],
+            )
+        self.graph = graph
+
+    # -- mutation path ---------------------------------------------------------
+
+    def _commit(self, ops: list[dict[str, object]]) -> dict[int, int]:
+        with self._write_lock:
+            if self._wal_handle is not None:
+                self._wal_handle.write(json.dumps({"ops": ops}) + "\n")
+                self._wal_handle.flush()
+            return self._apply(ops, log=False)
+
+    def _apply(self, ops: list[dict[str, object]], log: bool) -> dict[int, int]:
+        del log  # WAL append happens in _commit before _apply
+        id_map: dict[int, int] = {}
+
+        def real(node_id: int) -> int:
+            return id_map.get(node_id, node_id) if node_id < 0 else node_id
+
+        for op in ops:
+            kind = op["op"]
+            if kind == "create_node":
+                node = self.graph.create_node(op["label"], op["props"])
+                id_map[int(op["ref"])] = node.node_id
+            elif kind == "create_edge":
+                self.graph.create_edge(
+                    real(int(op["src"])), op["type"], real(int(op["dst"])), op["props"]
+                )
+            elif kind == "set_node_props":
+                self.graph.set_node_properties(real(int(op["id"])), op["props"])
+            elif kind == "set_edge_props":
+                self.graph.set_edge_properties(int(op["id"]), op["props"])
+            else:  # pragma: no cover - corrupted WAL
+                raise ValueError(f"unknown WAL operation {kind!r}")
+        return id_map
+
+    # -- public API -------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a buffered transaction."""
+        return Transaction(self)
+
+    def create_node(self, label: str, properties: dict[str, object] | None = None) -> Node:
+        """Auto-committed single-node insert."""
+        with self.begin() as tx:
+            ref = tx.create_node(label, properties)
+            id_map = tx.commit()
+        return self.graph.node(id_map[ref])
+
+    def create_edge(
+        self,
+        src: int,
+        edge_type: str,
+        dst: int,
+        properties: dict[str, object] | None = None,
+    ) -> Edge:
+        """Auto-committed single-edge insert."""
+        with self._write_lock:
+            if self._wal_handle is not None:
+                ops = [
+                    {"op": "create_edge", "src": src, "type": edge_type, "dst": dst,
+                     "props": dict(properties or {})}
+                ]
+                self._wal_handle.write(json.dumps({"ops": ops}) + "\n")
+                self._wal_handle.flush()
+            return self.graph.create_edge(src, edge_type, dst, properties)
+
+    def set_node_properties(self, node_id: int, properties: dict[str, object]) -> None:
+        """Auto-committed property merge on a node."""
+        self._commit([{"op": "set_node_props", "id": node_id, "props": dict(properties)}])
+
+    def set_edge_properties(self, edge_id: int, properties: dict[str, object]) -> None:
+        """Auto-committed property merge on an edge."""
+        self._commit([{"op": "set_edge_props", "id": edge_id, "props": dict(properties)}])
+
+    def snapshot(self) -> None:
+        """Write a snapshot and truncate the WAL (log compaction)."""
+        if self.path is None:
+            return
+        with self._write_lock:
+            data = {
+                "nodes": [
+                    {"id": n.node_id, "label": n.label, "props": n.properties}
+                    for n in self.graph.nodes()
+                ],
+                "edges": [
+                    {
+                        "src": e.src,
+                        "type": e.type,
+                        "dst": e.dst,
+                        "props": e.properties,
+                    }
+                    for e in self.graph.edges()
+                ],
+            }
+            tmp = self.path / (self.SNAPSHOT + ".tmp")
+            tmp.write_text(json.dumps(data))
+            tmp.replace(self.path / self.SNAPSHOT)
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+            (self.path / self.WAL).write_text("")
+            self._wal_handle = (self.path / self.WAL).open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+
+    def __enter__(self) -> "GraphDatabase":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+__all__ = ["GraphDatabase", "Transaction", "TransactionError"]

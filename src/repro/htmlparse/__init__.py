@@ -1,0 +1,39 @@
+"""From-scratch HTML parsing substrate.
+
+BeautifulSoup/lxml are not available offline, so the source-dependent
+parsers run on this package: an HTML tokenizer
+(:mod:`repro.htmlparse.tokenizer`), a forgiving DOM builder
+(:mod:`repro.htmlparse.dom`) and a CSS-selector subset
+(:mod:`repro.htmlparse.selectors`).
+
+>>> from repro.htmlparse import parse
+>>> doc = parse('<ul><li class="ioc">10.0.0.1<li class="ioc">evil.com</ul>')
+>>> [li.inner_text() for li in doc.select("li.ioc")]
+['10.0.0.1', 'evil.com']
+"""
+
+from repro.htmlparse.dom import Document, Element, TextNode, build_tree, parse
+from repro.htmlparse.selectors import (
+    SelectorSyntaxError,
+    compile_selector,
+    matches,
+    select,
+    select_one,
+)
+from repro.htmlparse.tokenizer import Token, TokenKind, tokenize
+
+__all__ = [
+    "Document",
+    "Element",
+    "SelectorSyntaxError",
+    "TextNode",
+    "Token",
+    "TokenKind",
+    "build_tree",
+    "compile_selector",
+    "matches",
+    "parse",
+    "select",
+    "select_one",
+    "tokenize",
+]

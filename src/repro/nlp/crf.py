@@ -1,0 +1,295 @@
+"""Linear-chain Conditional Random Field, from scratch.
+
+Implements Lafferty et al. [10] for sequence labeling: log-linear
+emission features per token plus first-order label transition weights,
+trained by maximising the regularised conditional log-likelihood with
+exact forward-backward gradients and scipy's L-BFGS-B, decoded with
+Viterbi.
+
+The implementation is deliberately self-contained (no sklearn /
+crfsuite exist offline) but not a toy: log-space forward-backward,
+L2 regularisation, feature hashing-free explicit feature indexing,
+serialisation, and probability output via posterior marginals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+
+def _logsumexp(values: np.ndarray, axis: int = 0) -> np.ndarray:
+    peak = np.max(values, axis=axis, keepdims=True)
+    out = np.log(np.sum(np.exp(values - peak), axis=axis)) + np.squeeze(peak, axis=axis)
+    return out
+
+
+@dataclass
+class EncodedSentence:
+    """A sentence encoded as per-token feature-index arrays + label ids."""
+
+    features: list[np.ndarray]
+    labels: np.ndarray | None = None
+
+
+class LinearChainCRF:
+    """Linear-chain CRF over string feature names and string labels.
+
+    Usage::
+
+        crf = LinearChainCRF(l2=0.1)
+        crf.fit(list_of_feature_lists, list_of_label_lists)
+        predicted = crf.predict(feature_lists_of_one_sentence)
+    """
+
+    def __init__(self, l2: float = 0.1, max_iterations: int = 80, verbose: bool = False):
+        self.l2 = l2
+        self.max_iterations = max_iterations
+        self.verbose = verbose
+        self.feature_index: dict[str, int] = {}
+        self.labels: list[str] = []
+        self.label_index: dict[str, int] = {}
+        self.emission: np.ndarray | None = None  # [n_features, n_labels]
+        self.transition: np.ndarray | None = None  # [n_labels+1, n_labels]
+        self.start_row = 0  # index n_labels in transition = start
+
+    # -- encoding -------------------------------------------------------
+
+    def _build_vocab(
+        self,
+        sentences: list[list[list[str]]],
+        label_sequences: list[list[str]],
+    ) -> None:
+        features: set[str] = set()
+        labels: set[str] = set()
+        for sentence in sentences:
+            for token_features in sentence:
+                features.update(token_features)
+        for sequence in label_sequences:
+            labels.update(sequence)
+        labels.add("O")
+        self.feature_index = {name: i for i, name in enumerate(sorted(features))}
+        self.labels = sorted(labels)
+        self.label_index = {label: i for i, label in enumerate(self.labels)}
+
+    def _encode(
+        self,
+        sentence: list[list[str]],
+        labels: list[str] | None = None,
+        grow: bool = False,
+    ) -> EncodedSentence:
+        encoded_features: list[np.ndarray] = []
+        for token_features in sentence:
+            ids = []
+            for name in token_features:
+                index = self.feature_index.get(name)
+                if index is None and grow:
+                    index = len(self.feature_index)
+                    self.feature_index[name] = index
+                if index is not None:
+                    ids.append(index)
+            encoded_features.append(np.asarray(sorted(set(ids)), dtype=np.int64))
+        encoded_labels = None
+        if labels is not None:
+            encoded_labels = np.asarray(
+                [self.label_index[label] for label in labels], dtype=np.int64
+            )
+        return EncodedSentence(features=encoded_features, labels=encoded_labels)
+
+    # -- potentials -------------------------------------------------------
+
+    def _scores(self, encoded: EncodedSentence, emission: np.ndarray) -> np.ndarray:
+        """Emission score matrix S[t, y]."""
+        n_labels = emission.shape[1]
+        scores = np.zeros((len(encoded.features), n_labels))
+        for t, ids in enumerate(encoded.features):
+            if len(ids):
+                scores[t] = emission[ids].sum(axis=0)
+        return scores
+
+    def _forward_backward(
+        self, scores: np.ndarray, transition: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Log alpha, log beta and log partition for one sentence."""
+        n_tokens, n_labels = scores.shape
+        trans = transition[:n_labels]
+        start = transition[n_labels]
+        alpha = np.zeros((n_tokens, n_labels))
+        alpha[0] = start + scores[0]
+        for t in range(1, n_tokens):
+            alpha[t] = _logsumexp(alpha[t - 1][:, None] + trans, axis=0) + scores[t]
+        beta = np.zeros((n_tokens, n_labels))
+        for t in range(n_tokens - 2, -1, -1):
+            beta[t] = _logsumexp(trans + (scores[t + 1] + beta[t + 1])[None, :], axis=1)
+        log_z = float(_logsumexp(alpha[-1], axis=0))
+        return alpha, beta, log_z
+
+    # -- training ---------------------------------------------------------
+
+    def fit(
+        self,
+        sentences: list[list[list[str]]],
+        label_sequences: list[list[str]],
+    ) -> "LinearChainCRF":
+        """Train on (feature-lists, BIO labels) pairs."""
+        if len(sentences) != len(label_sequences):
+            raise ValueError("sentences and labels must align")
+        data = [
+            (sentence, labels)
+            for sentence, labels in zip(sentences, label_sequences)
+            if sentence
+        ]
+        self._build_vocab([s for s, _ in data], [l for _, l in data])
+        encoded = [self._encode(s, l) for s, l in data]
+        n_features = len(self.feature_index)
+        n_labels = len(self.labels)
+        emission_size = n_features * n_labels
+        transition_size = (n_labels + 1) * n_labels
+
+        def unpack(theta: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            emission = theta[:emission_size].reshape(n_features, n_labels)
+            transition = theta[emission_size:].reshape(n_labels + 1, n_labels)
+            return emission, transition
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            emission, transition = unpack(theta)
+            grad_emission = np.zeros_like(emission)
+            grad_transition = np.zeros_like(transition)
+            negative_ll = 0.0
+            trans = transition[:n_labels]
+            for sentence in encoded:
+                scores = self._scores(sentence, emission)
+                alpha, beta, log_z = self._forward_backward(scores, transition)
+                labels = sentence.labels
+                n_tokens = scores.shape[0]
+
+                # empirical score
+                path_score = transition[n_labels, labels[0]] + scores[0, labels[0]]
+                for t in range(1, n_tokens):
+                    path_score += trans[labels[t - 1], labels[t]] + scores[t, labels[t]]
+                negative_ll -= path_score - log_z
+
+                # expected counts
+                marginals = np.exp(alpha + beta - log_z)  # [n_tokens, n_labels]
+                for t, ids in enumerate(sentence.features):
+                    if len(ids):
+                        grad_emission[ids] += marginals[t]
+                        grad_emission[ids, labels[t]] -= 1.0
+                grad_transition[n_labels] += marginals[0]
+                grad_transition[n_labels, labels[0]] -= 1.0
+                for t in range(1, n_tokens):
+                    pairwise = (
+                        alpha[t - 1][:, None]
+                        + trans
+                        + (scores[t] + beta[t])[None, :]
+                        - log_z
+                    )
+                    grad_transition[:n_labels] += np.exp(pairwise)
+                    grad_transition[labels[t - 1], labels[t]] -= 1.0
+
+            negative_ll += 0.5 * self.l2 * float(np.dot(theta, theta))
+            grad = np.concatenate(
+                [grad_emission.ravel(), grad_transition.ravel()]
+            ) + self.l2 * theta
+            return negative_ll, grad
+
+        theta0 = np.zeros(emission_size + transition_size)
+        result = minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iterations},
+        )
+        self.emission, self.transition = unpack(result.x)
+        return self
+
+    # -- inference ----------------------------------------------------------
+
+    def _require_trained(self) -> None:
+        if self.emission is None or self.transition is None:
+            raise RuntimeError("CRF is not trained; call fit() or load()")
+
+    def predict(self, sentence: list[list[str]]) -> list[str]:
+        """Viterbi-decode one sentence of feature lists."""
+        self._require_trained()
+        if not sentence:
+            return []
+        encoded = self._encode(sentence)
+        scores = self._scores(encoded, self.emission)
+        n_tokens, n_labels = scores.shape
+        trans = self.transition[:n_labels]
+        start = self.transition[n_labels]
+        viterbi = np.zeros((n_tokens, n_labels))
+        backptr = np.zeros((n_tokens, n_labels), dtype=np.int64)
+        viterbi[0] = start + scores[0]
+        for t in range(1, n_tokens):
+            candidate = viterbi[t - 1][:, None] + trans
+            backptr[t] = np.argmax(candidate, axis=0)
+            viterbi[t] = candidate[backptr[t], np.arange(n_labels)] + scores[t]
+        best = int(np.argmax(viterbi[-1]))
+        path = [best]
+        for t in range(n_tokens - 1, 0, -1):
+            best = int(backptr[t, best])
+            path.append(best)
+        path.reverse()
+        return [self.labels[i] for i in path]
+
+    def predict_marginals(self, sentence: list[list[str]]) -> list[dict[str, float]]:
+        """Posterior P(label | position) for every token."""
+        self._require_trained()
+        if not sentence:
+            return []
+        encoded = self._encode(sentence)
+        scores = self._scores(encoded, self.emission)
+        alpha, beta, log_z = self._forward_backward(scores, self.transition)
+        marginals = np.exp(alpha + beta - log_z)
+        return [
+            {label: float(row[i]) for i, label in enumerate(self.labels)}
+            for row in marginals
+        ]
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialise the trained model to a JSON+NPZ pair."""
+        self._require_trained()
+        path = Path(path)
+        np.savez_compressed(
+            path.with_suffix(".npz"),
+            emission=self.emission,
+            transition=self.transition,
+        )
+        path.with_suffix(".json").write_text(
+            json.dumps(
+                {
+                    "labels": self.labels,
+                    "features": sorted(
+                        self.feature_index, key=self.feature_index.get
+                    ),
+                    "l2": self.l2,
+                }
+            )
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LinearChainCRF":
+        """Inverse of :meth:`save`."""
+        path = Path(path)
+        meta = json.loads(path.with_suffix(".json").read_text())
+        arrays = np.load(path.with_suffix(".npz"))
+        model = cls(l2=meta.get("l2", 0.1))
+        model.labels = list(meta["labels"])
+        model.label_index = {label: i for i, label in enumerate(model.labels)}
+        model.feature_index = {name: i for i, name in enumerate(meta["features"])}
+        model.emission = arrays["emission"]
+        model.transition = arrays["transition"]
+        return model
+
+
+__all__ = ["LinearChainCRF"]

@@ -1,0 +1,165 @@
+"""Word embeddings from PPMI + truncated SVD.
+
+The paper trains its CRF with word-embedding features [18].  Word2vec
+is unavailable offline, so embeddings are produced the classical way:
+a positive pointwise-mutual-information co-occurrence matrix factorised
+by truncated SVD (Levy & Goldberg showed this approximates skip-gram
+with negative sampling).  Dense vectors are also *discretised* into a
+handful of sign-bucket strings so the CRF, a log-linear model over
+indicator features, can consume them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import svds
+
+
+class WordEmbeddings:
+    """Trainable PPMI-SVD word embeddings.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (bounded by vocabulary size).
+    window:
+        Symmetric co-occurrence window in tokens.
+    min_count:
+        Words rarer than this share a single out-of-vocabulary vector.
+    """
+
+    def __init__(self, dim: int = 32, window: int = 3, min_count: int = 2):
+        self.dim = dim
+        self.window = window
+        self.min_count = min_count
+        self.vocab: dict[str, int] = {}
+        self.vectors: np.ndarray | None = None
+
+    # -- training -----------------------------------------------------
+
+    def train(self, sentences: list[list[str]]) -> "WordEmbeddings":
+        """Fit on tokenized sentences (tokens are lower-cased)."""
+        counts: dict[str, int] = {}
+        for sentence in sentences:
+            for word in sentence:
+                word = word.lower()
+                counts[word] = counts.get(word, 0) + 1
+        self.vocab = {
+            word: index
+            for index, word in enumerate(
+                sorted(w for w, c in counts.items() if c >= self.min_count)
+            )
+        }
+        size = len(self.vocab)
+        if size < 2:
+            self.vectors = np.zeros((max(size, 1), 1))
+            return self
+
+        pair_counts: dict[tuple[int, int], float] = {}
+        for sentence in sentences:
+            ids = [self.vocab.get(word.lower(), -1) for word in sentence]
+            for i, center in enumerate(ids):
+                if center < 0:
+                    continue
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    context = ids[j]
+                    if j == i or context < 0:
+                        continue
+                    key = (center, context)
+                    pair_counts[key] = pair_counts.get(key, 0.0) + 1.0
+
+        rows = np.fromiter((k[0] for k in pair_counts), dtype=np.int64)
+        cols = np.fromiter((k[1] for k in pair_counts), dtype=np.int64)
+        values = np.fromiter(pair_counts.values(), dtype=np.float64)
+
+        total = values.sum()
+        cooc = csr_matrix((values, (rows, cols)), shape=(size, size))
+        row_sums = np.asarray(cooc.sum(axis=1)).ravel()
+        col_sums = np.asarray(cooc.sum(axis=0)).ravel()
+
+        # PPMI: max(0, log(p(w,c) / (p(w) p(c)))) on the sparse entries.
+        pmi_values = np.log(
+            (values * total)
+            / (row_sums[rows] * col_sums[cols])
+        )
+        keep = pmi_values > 0
+        ppmi = csr_matrix(
+            (pmi_values[keep], (rows[keep], cols[keep])), shape=(size, size)
+        )
+
+        k = min(self.dim, size - 1)
+        try:
+            u, s, _vt = svds(ppmi, k=k)
+        except Exception:
+            dense = np.asarray(ppmi.todense())
+            u_full, s_full, _ = np.linalg.svd(dense)
+            u, s = u_full[:, :k], s_full[:k]
+        order = np.argsort(-s)
+        self.vectors = u[:, order] * np.sqrt(s[order])
+        norms = np.linalg.norm(self.vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self.vectors = self.vectors / norms
+        return self
+
+    # -- lookup ---------------------------------------------------------
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self.vocab
+
+    def vector(self, word: str) -> np.ndarray:
+        """The word's vector; zero vector when out of vocabulary."""
+        if self.vectors is None:
+            raise RuntimeError("embeddings are not trained")
+        index = self.vocab.get(word.lower())
+        if index is None:
+            return np.zeros(self.vectors.shape[1])
+        return self.vectors[index]
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity in [-1, 1] (0 for OOV words)."""
+        va, vb = self.vector(a), self.vector(b)
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0:
+            return 0.0
+        return float(np.dot(va, vb) / denom)
+
+    def most_similar(self, word: str, topn: int = 5) -> list[tuple[str, float]]:
+        """Nearest vocabulary words by cosine similarity."""
+        if self.vectors is None:
+            raise RuntimeError("embeddings are not trained")
+        query = self.vector(word)
+        if not np.any(query):
+            return []
+        scores = self.vectors @ query / (np.linalg.norm(query) + 1e-12)
+        index_of = self.vocab.get(word.lower())
+        order = np.argsort(-scores)
+        words = {index: w for w, index in self.vocab.items()}
+        result = []
+        for index in order:
+            if index == index_of:
+                continue
+            result.append((words[int(index)], float(scores[int(index)])))
+            if len(result) >= topn:
+                break
+        return result
+
+    def bucket_features(self, word: str, buckets: int = 8) -> list[str]:
+        """Discrete sign-bucket features for CRF consumption.
+
+        The first ``buckets`` dimensions are rendered as
+        ``emb<i>=+``/``emb<i>=-`` indicators; OOV words get none, which
+        itself is informative.
+        """
+        if self.vectors is None or word.lower() not in self.vocab:
+            return []
+        vec = self.vector(word)
+        limit = min(buckets, len(vec))
+        return [
+            f"emb{i}={'+' if vec[i] >= 0 else '-'}" for i in range(limit)
+        ]
+
+
+__all__ = ["WordEmbeddings"]

@@ -1,0 +1,131 @@
+"""CRF feature extraction.
+
+Feature templates follow the paper (section 2.4): word lemmas, POS
+tags and word embeddings, plus the standard shape/affix/context
+templates and gazetteer-membership indicators.  Features are string
+names; the CRF maps them to indices internally.
+
+Gazetteer membership enters as a *feature*, not a decision -- that is
+what lets the CRF recognise names absent from the curated lists by
+leaning on lemma/POS/context evidence instead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.nlp.embeddings import WordEmbeddings
+from repro.nlp.gazetteer import Gazetteer
+from repro.nlp.lemma import lemmatize
+from repro.nlp.pos import tag as pos_tag
+from repro.nlp.tokenize import Token
+
+_DIGIT_RE = re.compile(r"\d")
+
+
+def word_shape(word: str) -> str:
+    """Compressed orthographic shape: 'WannaCry' -> 'XxXx', '10.0' -> 'd.d'."""
+    out: list[str] = []
+    for char in word[:12]:
+        if char.isupper():
+            symbol = "X"
+        elif char.islower():
+            symbol = "x"
+        elif char.isdigit():
+            symbol = "d"
+        else:
+            symbol = char
+        if not out or out[-1] != symbol:
+            out.append(symbol)
+    return "".join(out)
+
+
+@dataclass
+class FeatureExtractor:
+    """Turns a tokenized sentence into per-token feature-name lists.
+
+    Parameters
+    ----------
+    gazetteer:
+        Optional curated lists for membership indicator features.
+    embeddings:
+        Optional trained embeddings for sign-bucket features.
+    window:
+        Context window size for neighbouring word/POS features.
+    """
+
+    gazetteer: Gazetteer | None = None
+    embeddings: WordEmbeddings | None = None
+    window: int = 2
+    embedding_buckets: int = 8
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def extract(self, tokens: Sequence[Token]) -> list[list[str]]:
+        """Feature-name lists for every token of one sentence."""
+        words = [token.text for token in tokens]
+        tags = pos_tag(list(tokens))
+        lemmas = [lemmatize(word) for word in words]
+        gaz_types = self._gazetteer_types(words)
+
+        features: list[list[str]] = []
+        n = len(tokens)
+        for i, token in enumerate(tokens):
+            word = words[i]
+            lower = word.lower()
+            feats = [
+                "bias",
+                f"w={lower}",
+                f"lemma={lemmas[i]}",
+                f"pos={tags[i]}",
+                f"shape={word_shape(word)}",
+                f"pre2={lower[:2]}",
+                f"pre3={lower[:3]}",
+                f"suf2={lower[-2:]}",
+                f"suf3={lower[-3:]}",
+            ]
+            if word[:1].isupper():
+                feats.append("cap")
+            if _DIGIT_RE.search(word):
+                feats.append("hasdigit")
+            if "-" in word:
+                feats.append("hashyphen")
+            if token.is_ioc:
+                feats.append("ioc")
+                feats.append(f"ioctype={token.ioc_type.value}")
+            for gaz_type in gaz_types[i]:
+                feats.append(f"gaz={gaz_type}")
+            if self.embeddings is not None:
+                feats.extend(
+                    self.embeddings.bucket_features(lower, self.embedding_buckets)
+                )
+            for offset in range(1, self.window + 1):
+                if i - offset >= 0:
+                    feats.append(f"w[-{offset}]={words[i - offset].lower()}")
+                    feats.append(f"pos[-{offset}]={tags[i - offset]}")
+                else:
+                    feats.append(f"w[-{offset}]=<s>")
+                if i + offset < n:
+                    feats.append(f"w[+{offset}]={words[i + offset].lower()}")
+                    feats.append(f"pos[+{offset}]={tags[i + offset]}")
+                else:
+                    feats.append(f"w[+{offset}]=</s>")
+            if i == 0:
+                feats.append("bos")
+            if i == n - 1:
+                feats.append("eos")
+            features.append(feats)
+        return features
+
+    def _gazetteer_types(self, words: list[str]) -> list[set[str]]:
+        per_token: list[set[str]] = [set() for _ in words]
+        if self.gazetteer is None:
+            return per_token
+        for start, end, entity_type in self.gazetteer.match(words):
+            for i in range(start, min(end, len(words))):
+                per_token[i].add(entity_type.value)
+        return per_token
+
+
+__all__ = ["FeatureExtractor", "word_shape"]

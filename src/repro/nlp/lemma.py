@@ -1,0 +1,147 @@
+"""Rule-based English lemmatizer.
+
+Word lemmas are one of the CRF's feature families (paper section 2.4).
+This lemmatizer covers the inflection patterns that actually occur in
+threat-report prose: plural nouns, verb -s/-ed/-ing forms, consonant
+doubling, -ies/-ied, and a table of common irregulars.
+"""
+
+from __future__ import annotations
+
+_IRREGULAR: dict[str, str] = {
+    "was": "be",
+    "were": "be",
+    "been": "be",
+    "is": "be",
+    "are": "be",
+    "am": "be",
+    "has": "have",
+    "had": "have",
+    "having": "have",
+    "does": "do",
+    "did": "do",
+    "done": "do",
+    "goes": "go",
+    "went": "go",
+    "gone": "go",
+    "wrote": "write",
+    "written": "write",
+    "sent": "send",
+    "stolen": "steal",
+    "stole": "steal",
+    "ran": "run",
+    "running": "run",
+    "found": "find",
+    "seen": "see",
+    "saw": "see",
+    "made": "make",
+    "took": "take",
+    "taken": "take",
+    "began": "begin",
+    "begun": "begin",
+    "spread": "spread",
+    "set": "set",
+    "used": "use",
+    "uses": "use",
+    "children": "child",
+    "people": "person",
+    "mice": "mouse",
+    "indices": "index",
+    "analyses": "analysis",
+    "vulnerabilities": "vulnerability",
+    "capabilities": "capability",
+    "activities": "activity",
+    "families": "family",
+    "proxies": "proxy",
+    "registries": "registry",
+    "binaries": "binary",
+    "adversaries": "adversary",
+}
+
+_KEEP_S = frozenset(
+    {
+        "analysis",
+        "always",
+        "species",
+        "news",
+        "as",
+        "its",
+        "this",
+        "is",
+        "was",
+        "has",
+        "various",
+        "previous",
+        "across",
+        "perhaps",
+        "malicious",
+        "suspicious",
+        "dangerous",
+        "numerous",
+        "whereas",
+        "access",
+        "process",
+        "address",
+        "business",
+        "less",
+        "os",
+        "dns",
+        "https",
+        "ics",
+        "whois",
+    }
+)
+
+_VOWELS = frozenset("aeiou")
+
+
+def lemmatize(word: str) -> str:
+    """Best-effort lemma of ``word`` (lower-cased)."""
+    lower = word.lower()
+    if lower in _IRREGULAR:
+        return _IRREGULAR[lower]
+    if len(lower) <= 3 or not lower.isalpha():
+        return lower
+    if lower in _KEEP_S:
+        return lower
+
+    if lower.endswith("ies") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ied") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("sses") or lower.endswith("shes") or lower.endswith("ches"):
+        return lower[:-2]
+    if lower.endswith("xes") or lower.endswith("zzes") or lower.endswith("oes"):
+        return lower[:-2]
+    if lower.endswith("ing") and len(lower) > 5:
+        stem = lower[:-3]
+        return _fix_stem(stem)
+    if lower.endswith("ed") and len(lower) > 4:
+        stem = lower[:-2]
+        return _fix_stem(stem)
+    if lower.endswith("ss"):
+        return lower
+    if lower.endswith("s") and not lower.endswith("us") and not lower.endswith("is"):
+        return lower[:-1]
+    return lower
+
+
+def _fix_stem(stem: str) -> str:
+    """Undo consonant doubling / restore silent e after -ed/-ing strip."""
+    if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+        # dropped -> dropp -> drop (but not 'call' -> 'cal')
+        if stem[-1] not in "ls":
+            return stem[:-1]
+    if (
+        len(stem) >= 2
+        and stem[-1] not in _VOWELS
+        and stem[-2] in _VOWELS
+        and (len(stem) < 3 or stem[-3] not in _VOWELS)
+        and stem[-1] not in "wxy"
+    ):
+        # encodes CVC pattern: 'encod' -> 'encode', 'us' -> 'use'
+        return stem + "e"
+    return stem
+
+
+__all__ = ["lemmatize"]

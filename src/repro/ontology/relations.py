@@ -1,0 +1,175 @@
+"""Security relation vocabulary.
+
+Relations connect two entities of the ontology, e.g.
+``<MALWARE_A, DROP, FILE_A>`` (paper section 2.3).  The relation
+extractor produces raw verbs from dependency paths; those verbs are
+normalised onto this closed vocabulary via :func:`normalize_verb` so
+that graphs built from heterogeneous sources stay queryable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ontology.entities import Entity
+
+
+class RelationType(str, enum.Enum):
+    """Edge types of the security knowledge ontology."""
+
+    # Report bookkeeping.
+    CREATED_BY = "CREATED_BY"  # report -> vendor
+    DESCRIBES = "DESCRIBES"  # report -> malware/vulnerability/campaign
+    MENTIONS = "MENTIONS"  # report -> any entity found in it
+
+    # Behavioural relations between concepts / IOCs.
+    USES = "USES"  # actor/malware -> technique/tool/software
+    DROPS = "DROPS"  # malware -> file
+    EXECUTES = "EXECUTES"  # malware/actor -> file/tool
+    CONNECTS_TO = "CONNECTS_TO"  # malware -> ip/domain/url
+    COMMUNICATES_WITH = "COMMUNICATES_WITH"  # malware -> domain/ip (C2)
+    DOWNLOADS = "DOWNLOADS"  # malware -> url/file
+    EXPLOITS = "EXPLOITS"  # malware/actor -> vulnerability
+    TARGETS = "TARGETS"  # actor/malware -> software/sector
+    MODIFIES = "MODIFIES"  # malware -> registry/file
+    CREATES = "CREATES"  # malware -> file/registry
+    DELETES = "DELETES"  # malware -> file
+    ENCRYPTS = "ENCRYPTS"  # malware -> file
+    SENDS = "SENDS"  # malware -> email
+    SPREADS_VIA = "SPREADS_VIA"  # malware -> technique/email
+    ATTRIBUTED_TO = "ATTRIBUTED_TO"  # campaign/malware -> actor
+    INDICATES = "INDICATES"  # ioc -> malware
+    VARIANT_OF = "VARIANT_OF"  # malware -> malware
+    AFFECTS = "AFFECTS"  # vulnerability -> software
+    RELATED_TO = "RELATED_TO"  # generic fallback
+
+
+#: Verb lemma -> relation type.  Relation extraction emits raw verbs;
+#: this table folds surface variation onto the closed edge vocabulary.
+VERB_TO_RELATION: dict[str, RelationType] = {
+    "use": RelationType.USES,
+    "employ": RelationType.USES,
+    "leverage": RelationType.USES,
+    "utilize": RelationType.USES,
+    "deploy": RelationType.USES,
+    "drop": RelationType.DROPS,
+    "write": RelationType.CREATES,
+    "install": RelationType.CREATES,
+    "create": RelationType.CREATES,
+    "plant": RelationType.DROPS,
+    "execute": RelationType.EXECUTES,
+    "run": RelationType.EXECUTES,
+    "launch": RelationType.EXECUTES,
+    "spawn": RelationType.EXECUTES,
+    "invoke": RelationType.EXECUTES,
+    "connect": RelationType.CONNECTS_TO,
+    "beacon": RelationType.COMMUNICATES_WITH,
+    "communicate": RelationType.COMMUNICATES_WITH,
+    "contact": RelationType.COMMUNICATES_WITH,
+    "download": RelationType.DOWNLOADS,
+    "fetch": RelationType.DOWNLOADS,
+    "retrieve": RelationType.DOWNLOADS,
+    "exploit": RelationType.EXPLOITS,
+    "abuse": RelationType.EXPLOITS,
+    "weaponize": RelationType.EXPLOITS,
+    "target": RelationType.TARGETS,
+    "attack": RelationType.TARGETS,
+    "compromise": RelationType.TARGETS,
+    "infect": RelationType.TARGETS,
+    "modify": RelationType.MODIFIES,
+    "alter": RelationType.MODIFIES,
+    "change": RelationType.MODIFIES,
+    "tamper": RelationType.MODIFIES,
+    "set": RelationType.MODIFIES,
+    "delete": RelationType.DELETES,
+    "remove": RelationType.DELETES,
+    "erase": RelationType.DELETES,
+    "wipe": RelationType.DELETES,
+    "encrypt": RelationType.ENCRYPTS,
+    "lock": RelationType.ENCRYPTS,
+    "ransom": RelationType.ENCRYPTS,
+    "send": RelationType.SENDS,
+    "exfiltrate": RelationType.SENDS,
+    "spread": RelationType.SPREADS_VIA,
+    "propagate": RelationType.SPREADS_VIA,
+    "distribute": RelationType.SPREADS_VIA,
+    "attribute": RelationType.ATTRIBUTED_TO,
+    "link": RelationType.ATTRIBUTED_TO,
+    "indicate": RelationType.INDICATES,
+    "affect": RelationType.AFFECTS,
+    "impact": RelationType.AFFECTS,
+    "describe": RelationType.DESCRIBES,
+    "analyze": RelationType.DESCRIBES,
+    "relate": RelationType.RELATED_TO,
+}
+
+
+def normalize_verb(verb: str) -> RelationType:
+    """Map a (possibly inflected) relation verb onto the vocabulary.
+
+    Unknown verbs fall back to :attr:`RelationType.RELATED_TO` rather
+    than being dropped -- the fusion/application layers can still use
+    the raw verb, which is preserved in the relation attributes.
+    """
+    lemma = verb.strip().lower()
+    if lemma in VERB_TO_RELATION:
+        return VERB_TO_RELATION[lemma]
+    for suffix in ("ing", "ied", "ies", "ed", "es", "s"):
+        if not lemma.endswith(suffix) or len(lemma) <= len(suffix) + 1:
+            continue
+        base = lemma[: -len(suffix)]
+        candidates = [base, base + "e"]
+        if suffix in ("ied", "ies"):
+            candidates.append(base + "y")  # modified -> modify
+        if len(base) >= 2 and base[-1] == base[-2]:
+            candidates.append(base[:-1])  # dropped -> drop
+        for candidate in candidates:
+            if candidate in VERB_TO_RELATION:
+                return VERB_TO_RELATION[candidate]
+    return RelationType.RELATED_TO
+
+
+@dataclass
+class Relation:
+    """A typed, attributed edge between two entities.
+
+    ``provenance`` records where the triplet came from (report id and,
+    when extracted from text, the evidence sentence), which the fusion
+    stage and the UI both surface.
+    """
+
+    head: Entity
+    type: RelationType
+    tail: Entity
+    attributes: dict[str, object] = field(default_factory=dict)
+    provenance: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[tuple[str, str], str, tuple[str, str]]:
+        """Merge key: (head key, relation type, tail key)."""
+        return (self.head.key, self.type.value, self.tail.key)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to a JSON-compatible dict."""
+        return {
+            "head": self.head.to_dict(),
+            "type": self.type.value,
+            "tail": self.tail.to_dict(),
+            "attributes": dict(self.attributes),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Relation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            head=Entity.from_dict(data["head"]),  # type: ignore[arg-type]
+            type=RelationType(str(data["type"])),
+            tail=Entity.from_dict(data["tail"]),  # type: ignore[arg-type]
+            attributes=dict(data.get("attributes", {})),  # type: ignore[arg-type]
+            provenance=dict(data.get("provenance", {})),  # type: ignore[arg-type]
+        )
+
+
+__all__ = ["Relation", "RelationType", "VERB_TO_RELATION", "normalize_verb"]

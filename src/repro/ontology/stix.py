@@ -1,0 +1,264 @@
+"""STIX-style interchange for the knowledge graph.
+
+The paper situates its ontology against STIX [15]; real CTI platforms
+interoperate by exchanging STIX bundles.  This module maps the
+SecurityKG ontology onto STIX 2.1-shaped objects (SDO types for
+concepts, indicators with STIX patterns for IOCs, ``relationship``
+objects for edges, a ``report`` SDO per report node) and back, so a
+populated graph can be exported to any STIX consumer and re-imported
+losslessly at the granularity the mapping covers.
+
+Object ids are deterministic (UUIDv5 over the merge key), so repeated
+exports of the same graph produce identical bundles.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+
+from repro.graphdb.store import PropertyGraph
+from repro.ontology.entities import EntityType
+
+#: UUID namespace for deterministic STIX ids.
+_NAMESPACE = uuid.UUID("8c4f4e42-97b1-4d37-9e68-1a1f9c6b2a11")
+
+#: Ontology node label -> STIX object type.
+STIX_TYPE_BY_LABEL: dict[str, str] = {
+    EntityType.MALWARE.value: "malware",
+    EntityType.THREAT_ACTOR.value: "intrusion-set",
+    EntityType.CAMPAIGN.value: "campaign",
+    EntityType.TECHNIQUE.value: "attack-pattern",
+    EntityType.TOOL.value: "tool",
+    EntityType.SOFTWARE.value: "software",
+    EntityType.VULNERABILITY.value: "vulnerability",
+    EntityType.VENDOR.value: "identity",
+    EntityType.MALWARE_REPORT.value: "report",
+    EntityType.VULNERABILITY_REPORT.value: "report",
+    EntityType.ATTACK_REPORT.value: "report",
+}
+
+#: IOC label -> (STIX pattern object path).
+_PATTERN_BY_LABEL: dict[str, str] = {
+    EntityType.IP.value: "ipv4-addr:value",
+    EntityType.DOMAIN.value: "domain-name:value",
+    EntityType.URL.value: "url:value",
+    EntityType.EMAIL.value: "email-addr:value",
+    EntityType.FILE_NAME.value: "file:name",
+    EntityType.FILE_PATH.value: "file:parent_directory_ref.path",
+    EntityType.REGISTRY.value: "windows-registry-key:key",
+    EntityType.HASH.value: "file:hashes.'SHA-256'",
+}
+
+#: Edge type -> STIX relationship_type.
+STIX_RELATIONSHIP_BY_EDGE: dict[str, str] = {
+    "USES": "uses",
+    "DROPS": "drops",
+    "EXECUTES": "uses",
+    "CONNECTS_TO": "communicates-with",
+    "COMMUNICATES_WITH": "communicates-with",
+    "DOWNLOADS": "downloads",
+    "EXPLOITS": "exploits",
+    "TARGETS": "targets",
+    "MODIFIES": "targets",
+    "CREATES": "creates",
+    "DELETES": "targets",
+    "ENCRYPTS": "targets",
+    "SENDS": "exfiltrates-to",
+    "SPREADS_VIA": "uses",
+    "ATTRIBUTED_TO": "attributed-to",
+    "INDICATES": "indicates",
+    "VARIANT_OF": "variant-of",
+    "AFFECTS": "targets",
+    "RELATED_TO": "related-to",
+    "MENTIONS": "object-ref",  # folded into report object_refs instead
+    "CREATED_BY": "created-by",  # becomes created_by_ref on the report
+    "DESCRIBES": "related-to",
+}
+
+
+class StixMappingError(ValueError):
+    """A graph object cannot be represented in the mapping."""
+
+
+def stix_id(stix_type: str, key: str) -> str:
+    """Deterministic ``type--uuid5`` identifier."""
+    return f"{stix_type}--{uuid.uuid5(_NAMESPACE, f'{stix_type}|{key}')}"
+
+
+@dataclass
+class StixBundle:
+    """A STIX-shaped bundle: ``{type, id, objects}``."""
+
+    objects: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "bundle",
+            "id": stix_id("bundle", str(len(self.objects))),
+            "objects": list(self.objects),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def by_type(self, stix_type: str) -> list[dict]:
+        return [o for o in self.objects if o.get("type") == stix_type]
+
+
+def _node_key(node) -> str:
+    return str(node.properties.get("merge_key") or node.properties.get("name", ""))
+
+
+def export_graph(graph: PropertyGraph) -> StixBundle:
+    """Export a knowledge graph to a STIX-shaped bundle.
+
+    * concept nodes become their SDO type with ``name`` (+ ``aliases``);
+    * IOC nodes become ``indicator`` objects carrying a STIX pattern;
+    * report nodes become ``report`` objects whose ``object_refs`` are
+      the entities the report MENTIONS and whose ``created_by_ref`` is
+      the vendor identity (DESCRIBES stays a relationship so the edge
+      round-trips);
+    * every other edge becomes a ``relationship`` object.
+    """
+    bundle = StixBundle()
+    id_by_node: dict[int, str] = {}
+
+    for node in graph.nodes():
+        label = node.label
+        key = _node_key(node)
+        if label in _PATTERN_BY_LABEL:
+            object_id = stix_id("indicator", f"{label}|{key}")
+            value = str(node.properties.get("name", "")).replace("'", "\\'")
+            stix_object = {
+                "type": "indicator",
+                "id": object_id,
+                "name": node.properties.get("name", ""),
+                "pattern_type": "stix",
+                "pattern": f"[{_PATTERN_BY_LABEL[label]} = '{value}']",
+                "x_securitykg_kind": label,
+            }
+        elif label in STIX_TYPE_BY_LABEL:
+            stix_type = STIX_TYPE_BY_LABEL[label]
+            object_id = stix_id(stix_type, f"{label}|{key}")
+            stix_object = {
+                "type": stix_type,
+                "id": object_id,
+                "name": node.properties.get("name", ""),
+                "x_securitykg_kind": label,
+            }
+            aliases = node.properties.get("aliases")
+            if aliases:
+                stix_object["aliases"] = list(aliases)
+            if stix_type == "report":
+                stix_object["published"] = node.properties.get("published", "")
+                stix_object["x_source"] = node.properties.get("source", "")
+                stix_object["x_url"] = node.properties.get("url", "")
+                stix_object["object_refs"] = []
+            if stix_type == "identity":
+                stix_object["identity_class"] = "organization"
+        else:
+            raise StixMappingError(f"no STIX mapping for label {label!r}")
+        id_by_node[node.node_id] = stix_object["id"]
+        bundle.objects.append(stix_object)
+
+    objects_by_id = {o["id"]: o for o in bundle.objects}
+    for edge in graph.edges():
+        src_id = id_by_node[edge.src]
+        dst_id = id_by_node[edge.dst]
+        if edge.type == "MENTIONS":
+            report = objects_by_id[src_id]
+            refs = report.setdefault("object_refs", [])
+            if dst_id not in refs:
+                refs.append(dst_id)
+            continue
+        if edge.type == "CREATED_BY":
+            objects_by_id[src_id]["created_by_ref"] = dst_id
+            continue
+        relationship_type = STIX_RELATIONSHIP_BY_EDGE.get(edge.type, "related-to")
+        bundle.objects.append(
+            {
+                "type": "relationship",
+                "id": stix_id(
+                    "relationship", f"{src_id}|{edge.type}|{dst_id}"
+                ),
+                "relationship_type": relationship_type,
+                "source_ref": src_id,
+                "target_ref": dst_id,
+                "x_securitykg_type": edge.type,
+                "x_weight": edge.properties.get("weight", 1),
+            }
+        )
+    return bundle
+
+
+def import_bundle(bundle: StixBundle | dict) -> PropertyGraph:
+    """Rebuild a property graph from an exported bundle.
+
+    Inverse of :func:`export_graph` for everything the mapping covers:
+    node labels come back from ``x_securitykg_kind``, report
+    ``object_refs`` become MENTIONS edges, ``created_by_ref`` becomes
+    CREATED_BY, and relationship objects restore their original edge
+    type from ``x_securitykg_type``.
+    """
+    data = bundle.to_dict() if isinstance(bundle, StixBundle) else bundle
+    graph = PropertyGraph()
+    node_by_stix_id: dict[str, int] = {}
+
+    for stix_object in data["objects"]:
+        if stix_object["type"] == "relationship":
+            continue
+        label = stix_object.get("x_securitykg_kind")
+        if label is None:
+            continue
+        properties: dict[str, object] = {
+            "name": stix_object.get("name", ""),
+            "merge_key": str(stix_object.get("name", "")).lower(),
+            "stix_id": stix_object["id"],
+        }
+        if stix_object.get("aliases"):
+            properties["aliases"] = list(stix_object["aliases"])
+        if stix_object["type"] == "report":
+            properties["published"] = stix_object.get("published", "")
+            properties["source"] = stix_object.get("x_source", "")
+            properties["url"] = stix_object.get("x_url", "")
+        node = graph.create_node(label, properties)
+        node_by_stix_id[stix_object["id"]] = node.node_id
+
+    for stix_object in data["objects"]:
+        if stix_object["type"] == "relationship":
+            src = node_by_stix_id.get(stix_object["source_ref"])
+            dst = node_by_stix_id.get(stix_object["target_ref"])
+            if src is None or dst is None:
+                continue
+            graph.create_edge(
+                src,
+                stix_object.get("x_securitykg_type", "RELATED_TO"),
+                dst,
+                {"weight": stix_object.get("x_weight", 1)},
+            )
+            continue
+        node_id = node_by_stix_id.get(stix_object.get("id"))
+        if node_id is None:
+            continue
+        for ref in stix_object.get("object_refs", []):
+            target = node_by_stix_id.get(ref)
+            if target is not None:
+                graph.create_edge(node_id, "MENTIONS", target)
+        created_by = stix_object.get("created_by_ref")
+        if created_by and created_by in node_by_stix_id:
+            graph.create_edge(node_id, "CREATED_BY", node_by_stix_id[created_by])
+
+    return graph
+
+
+__all__ = [
+    "STIX_RELATIONSHIP_BY_EDGE",
+    "STIX_TYPE_BY_LABEL",
+    "StixBundle",
+    "StixMappingError",
+    "export_graph",
+    "import_bundle",
+    "stix_id",
+]

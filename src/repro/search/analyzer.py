@@ -1,0 +1,53 @@
+"""Text analysis for the search index.
+
+Lowercases, tokenizes with IOC protection (so ``update-relay3.xyz``
+is findable as one term), drops stopwords, and adds lemma variants so
+``encrypts`` matches a query for ``encrypt``.  IOC terms additionally
+index their internal fragments (the domain inside a URL, the file name
+inside a path) because analysts search for those.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.nlp.lemma import lemmatize
+from repro.nlp.tokenize import tokenize_words
+
+STOPWORDS = frozenset(
+    "a an the and or of to in on for with by from at is are was were be been "
+    "this that these those it its as into their his her our your over under "
+    "has have had do does did not no can could will would s t".split()
+)
+
+_SPLIT_RE = re.compile(r"[\\/@.:_\-]+")
+
+
+def analyze(text: str) -> list[str]:
+    """Terms for indexing/searching one text."""
+    terms: list[str] = []
+    for token in tokenize_words(text):
+        lower = token.text.lower()
+        if token.is_ioc:
+            terms.append(lower)
+            terms.extend(
+                frag for frag in _SPLIT_RE.split(lower) if len(frag) > 1
+            )
+            continue
+        if not any(ch.isalnum() for ch in lower):
+            continue
+        if lower in STOPWORDS:
+            continue
+        terms.append(lower)
+        lemma = lemmatize(lower)
+        if lemma != lower:
+            terms.append(lemma)
+    return terms
+
+
+def analyze_query(text: str) -> list[str]:
+    """Terms for a user query (same pipeline, kept separate for tuning)."""
+    return analyze(text)
+
+
+__all__ = ["STOPWORDS", "analyze", "analyze_query"]

@@ -1,0 +1,249 @@
+"""Inverted index with BM25 ranking.
+
+The Elasticsearch substitute behind the UI's keyword search (paper
+section 2.6): documents with typed fields, an inverted index with
+positions (for phrase queries), Okapi BM25 scoring with per-field
+boosts, boolean AND/OR semantics and filters.  Persistence is a single
+JSON file -- adequate for the corpus sizes a single host collects.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.search.analyzer import analyze, analyze_query
+
+
+@dataclass
+class SearchHit:
+    """One ranked result."""
+
+    doc_id: str
+    score: float
+    fields: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _Posting:
+    doc_id: str
+    field: str
+    positions: list[int]
+
+
+class SearchIndex:
+    """BM25 inverted index over documents with string fields.
+
+    Parameters
+    ----------
+    field_boosts:
+        Score multipliers per field (title hits matter more than body
+        hits).  Unlisted fields get boost 1.0.
+    """
+
+    def __init__(
+        self,
+        field_boosts: dict[str, float] | None = None,
+        k1: float = 1.5,
+        b: float = 0.75,
+    ):
+        self.field_boosts = dict(field_boosts or {"title": 2.5, "name": 3.0})
+        self.k1 = k1
+        self.b = b
+        self._postings: dict[str, list[_Posting]] = {}
+        self._documents: dict[str, dict[str, str]] = {}
+        self._doc_lengths: dict[tuple[str, str], int] = {}  # (doc, field) -> terms
+        self._field_totals: dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    # -- indexing --------------------------------------------------------
+
+    def add(self, doc_id: str, fields: dict[str, str]) -> None:
+        """Index (or re-index) one document."""
+        with self._lock:
+            if doc_id in self._documents:
+                self.remove(doc_id)
+            self._documents[doc_id] = dict(fields)
+            for field_name, text in fields.items():
+                terms = analyze(text)
+                self._doc_lengths[(doc_id, field_name)] = len(terms)
+                self._field_totals[field_name] = (
+                    self._field_totals.get(field_name, 0) + len(terms)
+                )
+                by_term: dict[str, list[int]] = {}
+                for position, term in enumerate(terms):
+                    by_term.setdefault(term, []).append(position)
+                for term, positions in by_term.items():
+                    self._postings.setdefault(term, []).append(
+                        _Posting(doc_id=doc_id, field=field_name, positions=positions)
+                    )
+
+    def remove(self, doc_id: str) -> bool:
+        """Drop a document from the index; returns whether it existed."""
+        with self._lock:
+            fields = self._documents.pop(doc_id, None)
+            if fields is None:
+                return False
+            for term in list(self._postings):
+                remaining = [p for p in self._postings[term] if p.doc_id != doc_id]
+                if remaining:
+                    self._postings[term] = remaining
+                else:
+                    del self._postings[term]
+            for field_name in fields:
+                length = self._doc_lengths.pop((doc_id, field_name), 0)
+                self._field_totals[field_name] = max(
+                    0, self._field_totals.get(field_name, 0) - length
+                )
+            return True
+
+    @property
+    def doc_count(self) -> int:
+        return len(self._documents)
+
+    def document(self, doc_id: str) -> dict[str, str] | None:
+        return self._documents.get(doc_id)
+
+    # -- scoring -----------------------------------------------------------
+
+    def _idf(self, term: str) -> float:
+        n_docs = len(self._documents)
+        containing = len({p.doc_id for p in self._postings.get(term, ())})
+        return math.log(1 + (n_docs - containing + 0.5) / (containing + 0.5))
+
+    def _avg_field_length(self, field_name: str) -> float:
+        total = self._field_totals.get(field_name, 0)
+        docs = sum(1 for (d, f) in self._doc_lengths if f == field_name)
+        return total / docs if docs else 1.0
+
+    def search(
+        self,
+        query: str,
+        limit: int = 10,
+        mode: str = "or",
+        filters: dict[str, str] | None = None,
+    ) -> list[SearchHit]:
+        """BM25-ranked search.
+
+        ``mode='and'`` requires every query term; ``filters`` restrict
+        results to documents whose stored field equals a value exactly.
+        """
+        with self._lock:
+            terms = analyze_query(query)
+            if not terms:
+                return []
+            scores: dict[str, float] = {}
+            matched_terms: dict[str, set[str]] = {}
+            for term in set(terms):
+                idf = self._idf(term)
+                for posting in self._postings.get(term, ()):
+                    frequency = len(posting.positions)
+                    avg = self._avg_field_length(posting.field)
+                    length = self._doc_lengths.get((posting.doc_id, posting.field), 0)
+                    denom = frequency + self.k1 * (
+                        1 - self.b + self.b * length / max(avg, 1e-9)
+                    )
+                    boost = self.field_boosts.get(posting.field, 1.0)
+                    scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + (
+                        idf * frequency * (self.k1 + 1) / denom * boost
+                    )
+                    matched_terms.setdefault(posting.doc_id, set()).add(term)
+
+            unique_terms = set(terms)
+            hits = []
+            for doc_id, score in scores.items():
+                if mode == "and" and matched_terms.get(doc_id) != unique_terms:
+                    continue
+                fields = self._documents[doc_id]
+                if filters and any(
+                    fields.get(k) != v for k, v in filters.items()
+                ):
+                    continue
+                hits.append(SearchHit(doc_id=doc_id, score=score, fields=fields))
+            hits.sort(key=lambda h: (-h.score, h.doc_id))
+            return hits[:limit]
+
+    def phrase_search(self, phrase: str, limit: int = 10) -> list[SearchHit]:
+        """Documents containing the exact term sequence in one field."""
+        with self._lock:
+            terms = analyze_query(phrase)
+            if not terms:
+                return []
+            # candidate docs containing all terms
+            first = terms[0]
+            candidates: dict[tuple[str, str], list[int]] = {
+                (p.doc_id, p.field): p.positions
+                for p in self._postings.get(first, ())
+            }
+            hits = []
+            for (doc_id, field_name), start_positions in candidates.items():
+                positions = set(start_positions)
+                ok_positions = positions
+                for offset, term in enumerate(terms[1:], start=1):
+                    next_positions = {
+                        pos
+                        for p in self._postings.get(term, ())
+                        if p.doc_id == doc_id and p.field == field_name
+                        for pos in p.positions
+                    }
+                    ok_positions = {
+                        pos for pos in ok_positions if pos + offset in next_positions
+                    }
+                    if not ok_positions:
+                        break
+                if ok_positions:
+                    hits.append(
+                        SearchHit(
+                            doc_id=doc_id,
+                            score=float(len(ok_positions)),
+                            fields=self._documents[doc_id],
+                        )
+                    )
+            hits.sort(key=lambda h: (-h.score, h.doc_id))
+            # one hit per doc (a phrase may occur in several fields)
+            seen: set[str] = set()
+            unique = [h for h in hits if not (h.doc_id in seen or seen.add(h.doc_id))]
+            return unique[:limit]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialise documents + postings to one JSON file."""
+        with self._lock:
+            data = {
+                "documents": self._documents,
+                "postings": {
+                    term: [[p.doc_id, p.field, p.positions] for p in postings]
+                    for term, postings in self._postings.items()
+                },
+                "doc_lengths": [
+                    [doc, field_name, length]
+                    for (doc, field_name), length in self._doc_lengths.items()
+                ],
+                "field_totals": self._field_totals,
+                "field_boosts": self.field_boosts,
+            }
+        Path(path).write_text(json.dumps(data))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SearchIndex":
+        data = json.loads(Path(path).read_text())
+        index = cls(field_boosts=data.get("field_boosts"))
+        index._documents = {k: dict(v) for k, v in data["documents"].items()}
+        index._postings = {
+            term: [_Posting(doc_id, field_name, list(positions))
+                   for doc_id, field_name, positions in postings]
+            for term, postings in data["postings"].items()
+        }
+        index._doc_lengths = {
+            (doc, field_name): int(length)
+            for doc, field_name, length in data["doc_lengths"]
+        }
+        index._field_totals = {k: int(v) for k, v in data["field_totals"].items()}
+        return index
+
+
+__all__ = ["SearchHit", "SearchIndex"]

@@ -1,0 +1,29 @@
+"""Headless UI view-model (paper section 2.6).
+
+The React frontend's behaviours -- Barnes-Hut force layout, node
+expansion/collapse, dragging with lock-in-place, view history, random
+subgraphs -- implemented as a library plus a JSON HTTP API a browser
+client can consume.
+"""
+
+from repro.ui.explorer import GraphExplorer, ViewConfig, ViewState
+from repro.ui.layout import ForceLayout, LayoutConfig
+from repro.ui.quadtree import Body, QuadTree, exact_repulsion
+from repro.ui.server import ExplorerAPI, ExplorerServer
+from repro.ui.svg import LABEL_COLORS, render_svg, save_svg
+
+__all__ = [
+    "Body",
+    "ExplorerAPI",
+    "ExplorerServer",
+    "ForceLayout",
+    "GraphExplorer",
+    "LABEL_COLORS",
+    "LayoutConfig",
+    "QuadTree",
+    "ViewConfig",
+    "ViewState",
+    "exact_repulsion",
+    "render_svg",
+    "save_svg",
+]

@@ -1,0 +1,175 @@
+"""JSON HTTP API for the explorer.
+
+A React (or any) frontend drives the explorer through this API; the
+endpoints correspond one-to-one to the interactions the demo shows:
+
+=======================  =====================================================
+``GET  /api/graph``       current view (nodes with positions, edges)
+``GET  /api/stats``       knowledge-graph size summary
+``POST /api/search``      body ``{"query": ...}``; keyword search + focus
+``POST /api/cypher``      body ``{"query": ...}``; Cypher search
+``POST /api/expand``      body ``{"id": ...}``; double-click expansion
+``POST /api/collapse``    body ``{"id": ...}``; double-click collapse
+``POST /api/drag``        body ``{"id", "x", "y"}``; drag with lock
+``POST /api/back``        back button
+``POST /api/random``      body ``{"size"?}``; random subgraph
+=======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.system import SecurityKG
+from repro.graphdb.store import Edge, Node
+from repro.ui.explorer import GraphExplorer
+
+
+def _jsonable(value):
+    if isinstance(value, Node):
+        return {
+            "id": value.node_id,
+            "label": value.label,
+            "properties": dict(value.properties),
+        }
+    if isinstance(value, Edge):
+        return {
+            "id": value.edge_id,
+            "src": value.src,
+            "dst": value.dst,
+            "type": value.type,
+            "properties": dict(value.properties),
+        }
+    return value
+
+
+class ExplorerAPI:
+    """Transport-independent request handling (used by tests directly)."""
+
+    def __init__(self, system: SecurityKG, explorer: GraphExplorer | None = None):
+        self.system = system
+        self.explorer = explorer or GraphExplorer(system.graph)
+
+    def handle(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+        """Dispatch one request; returns (status, payload)."""
+        body = body or {}
+        try:
+            if method == "GET" and path == "/api/graph":
+                return 200, self.explorer.snapshot()
+            if method == "GET" and path == "/api/stats":
+                return 200, self.system.stats()
+            if method == "POST" and path == "/api/search":
+                hits = self.system.keyword_search(str(body.get("query", "")))
+                node_ids = self._nodes_for_query(str(body.get("query", "")))
+                if node_ids:
+                    self.explorer.show(node_ids)
+                return 200, {
+                    "reports": [
+                        {"id": h.doc_id, "score": h.score, "title": h.fields.get("title", "")}
+                        for h in hits
+                    ],
+                    "view": self.explorer.snapshot(),
+                }
+            if method == "POST" and path == "/api/cypher":
+                rows = self.system.cypher(str(body.get("query", "")))
+                return 200, {
+                    "rows": [
+                        {k: _jsonable(v) for k, v in row.values.items()}
+                        for row in rows
+                    ]
+                }
+            if method == "POST" and path == "/api/expand":
+                spawned = self.explorer.expand(int(body["id"]))
+                return 200, {"spawned": spawned, "view": self.explorer.snapshot()}
+            if method == "POST" and path == "/api/collapse":
+                hidden = self.explorer.collapse(int(body["id"]))
+                return 200, {"hidden": hidden, "view": self.explorer.snapshot()}
+            if method == "POST" and path == "/api/drag":
+                self.explorer.drag(
+                    int(body["id"]), float(body["x"]), float(body["y"])
+                )
+                return 200, {"view": self.explorer.snapshot()}
+            if method == "POST" and path == "/api/back":
+                moved = self.explorer.back()
+                return 200, {"moved": moved, "view": self.explorer.snapshot()}
+            if method == "POST" and path == "/api/random":
+                self.explorer.show_random(
+                    size=body.get("size"), seed=body.get("seed")
+                )
+                return 200, {"view": self.explorer.snapshot()}
+            return 404, {"error": f"no route {method} {path}"}
+        except (KeyError, ValueError) as error:
+            return 400, {"error": str(error)}
+
+    def _nodes_for_query(self, query: str) -> list[int]:
+        """Graph nodes whose name matches the keyword query."""
+        matches = []
+        needle = query.strip().lower()
+        if not needle:
+            return []
+        for node in self.system.graph.nodes():
+            name = str(node.properties.get("name", "")).lower()
+            if needle in name:
+                matches.append((0 if name == needle else 1, node.node_id))
+        return [node_id for _rank, node_id in sorted(matches)]
+
+
+class ExplorerServer:
+    """Threaded HTTP server wrapping :class:`ExplorerAPI`."""
+
+    def __init__(self, api: ExplorerAPI, host: str = "127.0.0.1", port: int = 0):
+        self.api = api
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # noqa: A003 - silence request log
+                pass
+
+            def _respond(self, status: int, payload: dict) -> None:
+                data = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def do_GET(self):  # noqa: N802 - stdlib naming
+                status, payload = outer.api.handle("GET", self.path)
+                self._respond(status, payload)
+
+            def do_POST(self):  # noqa: N802 - stdlib naming
+                length = int(self.headers.get("Content-Length", "0"))
+                body = {}
+                if length:
+                    try:
+                        body = json.loads(self.rfile.read(length))
+                    except json.JSONDecodeError:
+                        self._respond(400, {"error": "invalid JSON body"})
+                        return
+                status, payload = outer.api.handle("POST", self.path, body)
+                self._respond(status, payload)
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> "ExplorerServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+__all__ = ["ExplorerAPI", "ExplorerServer"]

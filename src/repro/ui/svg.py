@@ -1,0 +1,142 @@
+"""Render an explorer view to SVG.
+
+The paper's Figure 3 is a screenshot of the canvas: coloured nodes laid
+out by the force engine, labelled edges, names on nodes.  This module
+produces that picture as a standalone SVG from an explorer snapshot --
+the headless equivalent of the React canvas, and the artifact a demo
+can actually show offline.
+
+Node colours follow the label (as the paper describes: "Nodes are
+colored according to their types"); pinned nodes get a ring; edge
+labels show the relation type.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+#: Label -> fill colour.  Reports are muted, concepts saturated, IOCs cool.
+LABEL_COLORS: dict[str, str] = {
+    "Malware": "#d64550",
+    "ThreatActor": "#b14ad6",
+    "Campaign": "#9b59b6",
+    "Technique": "#e8a33d",
+    "Tool": "#d6bb4a",
+    "Software": "#7fb069",
+    "Vulnerability": "#e06377",
+    "Vendor": "#8d99ae",
+    "MalwareReport": "#c9cdd6",
+    "VulnerabilityReport": "#c9cdd6",
+    "AttackReport": "#c9cdd6",
+    "IP": "#4a90d6",
+    "Domain": "#4ad6c9",
+    "URL": "#46b4e0",
+    "Email": "#5b8ff0",
+    "FileName": "#6aa8c9",
+    "FilePath": "#6aa8c9",
+    "Registry": "#7d9ec9",
+    "Hash": "#95a9c9",
+}
+
+_FALLBACK_COLOR = "#aaaaaa"
+
+
+def _esc(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _viewbox(nodes: list[dict], pad: float = 60.0) -> tuple[float, float, float, float]:
+    if not nodes:
+        return (0.0, 0.0, 400.0, 300.0)
+    xs = [n["x"] for n in nodes]
+    ys = [n["y"] for n in nodes]
+    min_x, max_x = min(xs) - pad, max(xs) + pad
+    min_y, max_y = min(ys) - pad, max(ys) + pad
+    return (min_x, min_y, max(max_x - min_x, 1.0), max(max_y - min_y, 1.0))
+
+
+def render_svg(
+    snapshot: dict,
+    node_radius: float = 14.0,
+    show_edge_labels: bool = True,
+    show_legend: bool = True,
+) -> str:
+    """Render an explorer snapshot (``GraphExplorer.snapshot()``) to SVG."""
+    nodes = snapshot.get("nodes", [])
+    edges = snapshot.get("edges", [])
+    positions = {n["id"]: (n["x"], n["y"]) for n in nodes}
+    min_x, min_y, width, height = _viewbox(nodes)
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="{min_x:.1f} {min_y:.1f} {width:.1f} {height:.1f}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect x="{min_x:.1f}" y="{min_y:.1f}" width="{width:.1f}" '
+        f'height="{height:.1f}" fill="#fbfbfd"/>',
+    ]
+
+    for edge in edges:
+        if edge["src"] not in positions or edge["dst"] not in positions:
+            continue
+        x1, y1 = positions[edge["src"]]
+        x2, y2 = positions[edge["dst"]]
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="#b9bdc9" stroke-width="1.2"/>'
+        )
+        if show_edge_labels:
+            parts.append(
+                f'<text x="{(x1 + x2) / 2:.1f}" y="{(y1 + y2) / 2 - 3:.1f}" '
+                f'fill="#8a8f9c" font-size="8" text-anchor="middle">'
+                f"{_esc(edge['type'])}</text>"
+            )
+
+    for node in nodes:
+        x, y = node["x"], node["y"]
+        color = LABEL_COLORS.get(node["label"], _FALLBACK_COLOR)
+        if node.get("pinned"):
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{node_radius + 3:.1f}" '
+                f'fill="none" stroke="#333" stroke-width="1.5" '
+                f'stroke-dasharray="3 2"/>'
+            )
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{node_radius:.1f}" '
+            f'fill="{color}" stroke="#ffffff" stroke-width="1.5"/>'
+        )
+        name = str(node.get("name", ""))
+        if len(name) > 24:
+            name = name[:21] + "..."
+        parts.append(
+            f'<text x="{x:.1f}" y="{y + node_radius + 11:.1f}" '
+            f'text-anchor="middle" fill="#333">{_esc(name)}</text>'
+        )
+
+    if show_legend and nodes:
+        used_labels = sorted({n["label"] for n in nodes})
+        legend_x = min_x + 12
+        legend_y = min_y + 16
+        for i, label in enumerate(used_labels):
+            y = legend_y + i * 16
+            color = LABEL_COLORS.get(label, _FALLBACK_COLOR)
+            parts.append(
+                f'<circle cx="{legend_x:.1f}" cy="{y:.1f}" r="5" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 10:.1f}" y="{y + 4:.1f}" '
+                f'fill="#555" font-size="10">{_esc(label)}</text>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(snapshot: dict, path: str | Path, **kwargs) -> Path:
+    """Render and write an SVG file; returns the path."""
+    path = Path(path)
+    path.write_text(render_svg(snapshot, **kwargs), encoding="utf-8")
+    return path
+
+
+__all__ = ["LABEL_COLORS", "render_svg", "save_svg"]

@@ -1,0 +1,71 @@
+"""Synthetic OSCTI web.
+
+The paper crawls 40+ live security websites; this environment has no
+network, so the collection stage runs against this package instead: a
+deterministic web of 42 sources across five site families, backed by a
+shared pool of threat scenarios with full ground-truth annotations
+(entity mentions, relations, IOC tables) that the extraction
+benchmarks score against.
+
+>>> from repro.websim import build_default_web, SimulatedTransport
+>>> web = build_default_web(scenario_count=10, reports_per_site=5)
+>>> transport = SimulatedTransport(web, time_scale=0.0)
+>>> transport.fetch(web.sites[0].index_url).ok
+True
+"""
+
+from repro.websim.network import (
+    Response,
+    SimulatedTransport,
+    TransportError,
+    TransportStats,
+)
+from repro.websim.scenario import (
+    CATEGORIES,
+    GroundTruth,
+    ReportContent,
+    ThreatScenario,
+    generate_report_content,
+    make_scenarios,
+)
+from repro.websim.sites import (
+    DEFAULT_SITE_SPECS,
+    Article,
+    Site,
+    Web,
+    build_default_web,
+)
+from repro.websim.textgen import (
+    DISTRACTORS,
+    TEMPLATES,
+    GeneratedSentence,
+    GoldMention,
+    GoldRelation,
+    Template,
+    realize,
+)
+
+__all__ = [
+    "Article",
+    "CATEGORIES",
+    "DEFAULT_SITE_SPECS",
+    "DISTRACTORS",
+    "GeneratedSentence",
+    "GoldMention",
+    "GoldRelation",
+    "GroundTruth",
+    "ReportContent",
+    "Response",
+    "SimulatedTransport",
+    "Site",
+    "TEMPLATES",
+    "Template",
+    "ThreatScenario",
+    "TransportError",
+    "TransportStats",
+    "Web",
+    "build_default_web",
+    "generate_report_content",
+    "make_scenarios",
+    "realize",
+]

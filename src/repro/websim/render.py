@@ -1,0 +1,279 @@
+"""HTML rendering of report content, per site family.
+
+Five site families mirror the diversity of real OSCTI sources (paper
+section 2.2: threat encyclopedias, blogs, security news, ...).  Each
+family produces structurally different markup -- different tags, class
+names, field layouts and IOC presentation -- so each source genuinely
+needs its own source-dependent parser:
+
+``encyclopedia``
+    Structured: ``<dl>`` fact sheet, one ``<table>`` per IOC kind,
+    ``<h2>`` sections.  Long reports split across two pages joined by a
+    ``rel=next`` link (exercises the porter's multi-page grouping).
+``blog``
+    Narrative: ``<article>`` with paragraphs, IOCs in a trailing
+    ``<ul class="...-indicators">`` list with ``data-kind`` items.
+``news``
+    Short-form: headline, byline, paragraphs; no structured IOC block
+    (IOCs appear inline only).
+``advisory``
+    Vulnerability-centric: metadata ``<table>``, impact sections, IOC
+    appendix as ``<pre>`` blocks per kind.
+``feed``
+    Aggregator: terse summary page per item with a key/value ``<ul>``.
+
+Markup class names are prefixed by a per-site token so two sites of the
+same family still differ superficially, like real CMS deployments.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+import re
+
+from repro.websim.scenario import ReportContent
+
+FAMILIES: tuple[str, ...] = ("encyclopedia", "blog", "news", "advisory", "feed")
+
+
+def _esc(text: str) -> str:
+    return html_escape.escape(text, quote=True)
+
+
+def site_prefix(site_name: str) -> str:
+    """Per-site CSS class token derived from the site name."""
+    return re.sub(r"[^a-z0-9]+", "-", site_name.lower()).strip("-")
+
+
+def _page_shell(title: str, body: str, site_name: str) -> str:
+    return (
+        "<!DOCTYPE html>\n"
+        f"<html><head><title>{_esc(title)} | {_esc(site_name)}</title>"
+        '<meta charset="utf-8"></head>\n'
+        f'<body><header class="site-header"><span class="site-name">{_esc(site_name)}</span></header>\n'
+        f"{body}\n"
+        '<footer class="site-footer">Copyright; all rights reserved.</footer>'
+        "</body></html>"
+    )
+
+
+def _paragraphs(sentences: list[str], css_class: str) -> str:
+    return "\n".join(f'<p class="{css_class}">{_esc(s)}</p>' for s in sentences)
+
+
+# ---------------------------------------------------------------------------
+# encyclopedia family
+
+
+def render_encyclopedia(
+    report: ReportContent, site_name: str, page: int = 1
+) -> str:
+    """Encyclopedia page: fact sheet + sections (page 1), IOC tables (page 2)."""
+    prefix = site_prefix(site_name)
+    if page == 1:
+        facts = "".join(
+            f"<dt>{_esc(key)}</dt><dd>{_esc(value)}</dd>"
+            for key, value in report.structured_fields.items()
+        )
+        sections = "".join(
+            f'<h2 class="{prefix}-section">{_esc(heading)}</h2>'
+            + _paragraphs(sentences, f"{prefix}-para")
+            for heading, sentences in report.sections
+        )
+        body = (
+            f'<div class="{prefix}-entry" data-category="{_esc(report.category)}">'
+            f'<h1 class="{prefix}-title">{_esc(report.title)}</h1>'
+            f'<div class="{prefix}-meta"><span class="vendor">{_esc(report.vendor)}</span>'
+            f'<time datetime="{_esc(report.published)}">{_esc(report.published)}</time></div>'
+            f'<p class="{prefix}-summary">{_esc(report.summary)}</p>'
+            f'<dl class="{prefix}-facts">{facts}</dl>'
+            f"{sections}"
+            f'<a class="{prefix}-next" rel="next" href="?page=2">Indicators of Compromise</a>'
+            "</div>"
+        )
+    else:
+        tables = []
+        for kind, values in report.ioc_table.items():
+            if not values:
+                continue
+            rows = "".join(f"<tr><td>{_esc(v)}</td></tr>" for v in values)
+            tables.append(
+                f'<h3 class="{prefix}-ioc-head">{_esc(kind)}</h3>'
+                f'<table class="{prefix}-ioc" data-kind="{_esc(kind)}">{rows}</table>'
+            )
+        body = (
+            f'<div class="{prefix}-entry">'
+            f'<h1 class="{prefix}-title">{_esc(report.title)}</h1>'
+            f'<div class="{prefix}-appendix">{"".join(tables)}</div>'
+            "</div>"
+        )
+    return _page_shell(report.title, body, site_name)
+
+
+# ---------------------------------------------------------------------------
+# blog family
+
+
+def render_blog(report: ReportContent, site_name: str) -> str:
+    """Blog post: article body with inline IOC code spans + indicator list."""
+    prefix = site_prefix(site_name)
+    sections = "".join(
+        f'<h3>{_esc(heading)}</h3>' + _paragraphs(sentences, f"{prefix}-body")
+        for heading, sentences in report.sections
+    )
+    indicators = "".join(
+        f'<li data-kind="{_esc(kind)}"><code>{_esc(value)}</code></li>'
+        for kind, values in report.ioc_table.items()
+        for value in values
+    )
+    body = (
+        f'<article class="{prefix}-post" data-topic="{_esc(report.category)}">'
+        f"<h1>{_esc(report.title)}</h1>"
+        f'<div class="byline">By {_esc(report.vendor)} research team on '
+        f'<span class="date">{_esc(report.published)}</span></div>'
+        f'<p class="lede">{_esc(report.summary)}</p>'
+        f"{sections}"
+        f'<h3>Indicators</h3><ul class="{prefix}-indicators">{indicators}</ul>'
+        "</article>"
+    )
+    return _page_shell(report.title, body, site_name)
+
+
+# ---------------------------------------------------------------------------
+# news family
+
+
+def render_news(report: ReportContent, site_name: str) -> str:
+    """News article: headline + narrative paragraphs only."""
+    prefix = site_prefix(site_name)
+    sentences = [s for _heading, chunk in report.sections for s in chunk]
+    body = (
+        f'<div class="{prefix}-story">'
+        f'<h1 class="headline">{_esc(report.title)}</h1>'
+        f'<p class="dateline">{_esc(report.published)} - {_esc(report.vendor)}</p>'
+        f'<p class="standfirst">{_esc(report.summary)}</p>'
+        + _paragraphs(sentences, f"{prefix}-graf")
+        + "</div>"
+    )
+    return _page_shell(report.title, body, site_name)
+
+
+# ---------------------------------------------------------------------------
+# advisory family
+
+
+def render_advisory(report: ReportContent, site_name: str) -> str:
+    """Security advisory: metadata table, sections, IOC <pre> appendix."""
+    prefix = site_prefix(site_name)
+    meta_items = [
+        ("Reported by", report.vendor),
+        ("Published", report.published),
+        *report.structured_fields.items(),
+    ]
+    meta_rows = "".join(
+        f"<tr><th>{_esc(key)}</th><td>{_esc(value)}</td></tr>"
+        for key, value in meta_items
+    )
+    sections = "".join(
+        f'<h2>{_esc(heading)}</h2>' + _paragraphs(sentences, f"{prefix}-text")
+        for heading, sentences in report.sections
+    )
+    blocks = "".join(
+        f'<h4>{_esc(kind)}</h4><pre class="{prefix}-iocs" data-kind="{_esc(kind)}">'
+        + _esc("\n".join(values))
+        + "</pre>"
+        for kind, values in report.ioc_table.items()
+        if values
+    )
+    body = (
+        f'<main class="{prefix}-advisory" data-category="{_esc(report.category)}">'
+        f"<h1>{_esc(report.title)}</h1>"
+        f'<table class="{prefix}-meta">{meta_rows}</table>'
+        f'<p class="abstract">{_esc(report.summary)}</p>'
+        f"{sections}"
+        f'<section class="{prefix}-appendix"><h2>Observables</h2>{blocks}</section>'
+        "</main>"
+    )
+    return _page_shell(report.title, body, site_name)
+
+
+# ---------------------------------------------------------------------------
+# feed family
+
+
+def render_feed_item(report: ReportContent, site_name: str) -> str:
+    """Aggregator item: terse summary with key/value metadata list."""
+    prefix = site_prefix(site_name)
+    fields = "".join(
+        f'<li><span class="k">{_esc(key)}</span><span class="v">{_esc(value)}</span></li>'
+        for key, value in report.structured_fields.items()
+    )
+    sentences = [s for _heading, chunk in report.sections for s in chunk][:3]
+    body = (
+        f'<div class="{prefix}-item" data-category="{_esc(report.category)}">'
+        f'<h2 class="{prefix}-item-title">{_esc(report.title)}</h2>'
+        f'<ul class="{prefix}-fields">{fields}</ul>'
+        f'<div class="{prefix}-excerpt">{_paragraphs([report.summary, *sentences], f"{prefix}-line")}</div>'
+        f'<div class="src">via {_esc(report.vendor)} | {_esc(report.published)}</div>'
+        "</div>"
+    )
+    return _page_shell(report.title, body, site_name)
+
+
+# ---------------------------------------------------------------------------
+# index pages (all families share a structure, classes differ per site)
+
+
+def render_index(
+    site_name: str,
+    links: list[tuple[str, str]],
+    page: int,
+    total_pages: int,
+) -> str:
+    """Archive/index page: article links plus numbered pagination."""
+    prefix = site_prefix(site_name)
+    items = "".join(
+        f'<li class="{prefix}-idx"><a class="{prefix}-link" href="{_esc(url)}">{_esc(title)}</a></li>'
+        for url, title in links
+    )
+    pager_links = []
+    if page > 1:
+        pager_links.append(f'<a class="prev" href="/index/{page - 1}">Prev</a>')
+    if page < total_pages:
+        pager_links.append(f'<a class="next" rel="next" href="/index/{page + 1}">Next</a>')
+    body = (
+        f'<div class="{prefix}-archive"><h1>{_esc(site_name)} - Archive</h1>'
+        f'<ul class="{prefix}-list">{items}</ul>'
+        f'<nav class="pager">{"".join(pager_links)}</nav></div>'
+    )
+    return _page_shell(f"Archive page {page}", body, site_name)
+
+
+def render_report(
+    report: ReportContent, family: str, site_name: str, page: int = 1
+) -> str:
+    """Dispatch to the family renderer."""
+    if family == "encyclopedia":
+        return render_encyclopedia(report, site_name, page=page)
+    if family == "blog":
+        return render_blog(report, site_name)
+    if family == "news":
+        return render_news(report, site_name)
+    if family == "advisory":
+        return render_advisory(report, site_name)
+    if family == "feed":
+        return render_feed_item(report, site_name)
+    raise ValueError(f"unknown site family {family!r}")
+
+
+__all__ = [
+    "FAMILIES",
+    "render_advisory",
+    "render_blog",
+    "render_encyclopedia",
+    "render_feed_item",
+    "render_index",
+    "render_news",
+    "render_report",
+    "site_prefix",
+]

@@ -1,0 +1,24 @@
+"""Derived deterministic RNG streams.
+
+``random.Random`` only seeds from scalars; :func:`derive_rng` builds an
+independent, reproducible stream from any tuple of labels (site seed,
+purpose, index, URL, ...), which the web simulator uses everywhere so
+that content, latency and failure draws never interfere.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def derive_seed(*parts: object) -> str:
+    """A stable string seed from heterogeneous parts."""
+    return "\x1f".join(repr(part) for part in parts)
+
+
+def derive_rng(*parts: object) -> random.Random:
+    """An independent ``random.Random`` keyed by ``parts``."""
+    return random.Random(derive_seed(*parts))
+
+
+__all__ = ["derive_rng", "derive_seed"]

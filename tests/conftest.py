@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+The trained recogniser fixture is session-scoped because CRF training
+is the most expensive setup in the suite; tests that need a trained
+model share one small instance.
+"""
+
+import random
+
+import pytest
+
+from repro.nlp import EntityRecognizer
+from repro.websim.scenario import generate_report_content, make_scenarios
+
+
+def training_texts(scenario_count: int = 18, variants: int = 2) -> list[str]:
+    """Small known-name training corpus for fast model fixtures."""
+    scenarios = make_scenarios(scenario_count, seed=11, known_only=True)
+    texts = []
+    for scenario in scenarios:
+        for k in range(variants):
+            content = generate_report_content(
+                scenario,
+                random.Random(f"{scenario.scenario_id}-{k}"),
+                sentence_count=8,
+            )
+            texts.append(" ".join(gs.text for gs in content.truth.sentences))
+    return texts
+
+
+@pytest.fixture(scope="session")
+def small_recognizer() -> EntityRecognizer:
+    """A quickly-trained entity recogniser shared across the session."""
+    return EntityRecognizer.train(
+        training_texts(), max_iterations=60, embedding_dim=16
+    )
+
+
+@pytest.fixture(scope="session")
+def small_web():
+    """A compact synthetic web shared across the session."""
+    from repro.websim import build_default_web
+
+    return build_default_web(scenario_count=12, reports_per_site=5)

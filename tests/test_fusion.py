@@ -1,0 +1,132 @@
+"""Unit tests for similarity metrics and knowledge fusion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import (
+    KnowledgeFusion,
+    jaro_winkler,
+    name_similarity,
+    squash,
+    token_set_overlap,
+)
+from repro.graphdb import PropertyGraph
+
+
+class TestSimilarity:
+    def test_squash_removes_conventions(self):
+        assert squash("Agent Tesla") == squash("agent_tesla") == squash("agent-tesla")
+        assert squash("AgentTesla") == "agenttesla"
+
+    def test_jaro_winkler_bounds_and_identity(self):
+        assert jaro_winkler("emotet", "emotet") == 1.0
+        assert jaro_winkler("abc", "xyz") == 0.0
+        assert 0 < jaro_winkler("emotet", "emotett") < 1
+
+    def test_prefix_bonus(self):
+        assert jaro_winkler("trickbot", "trickbo") > jaro_winkler(
+            "trickbot", "rickbott"
+        )
+
+    def test_token_overlap(self):
+        assert token_set_overlap("cozy bear", "bear cozy") == 1.0
+        assert token_set_overlap("cozy bear", "fancy bear") == pytest.approx(1 / 3)
+
+    def test_name_similarity_convention_equals_one(self):
+        assert name_similarity("Agent Tesla", "agent_tesla") == 1.0
+        assert name_similarity("WannaCry", "wannacry") == 1.0
+
+    def test_name_similarity_unrelated_low(self):
+        assert name_similarity("emotet", "stuxnet") < 0.8
+
+    @given(st.text(alphabet="abc XYZ_-", max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity(self, name):
+        if squash(name):
+            assert name_similarity(name, name) == 1.0
+
+
+def seeded_graph():
+    """Three naming variants of one malware + an unrelated one, with edges."""
+    graph = PropertyGraph()
+    a = graph.create_node("Malware", {"name": "agent tesla", "merge_key": "agent tesla"})
+    b = graph.create_node("Malware", {"name": "AgentTesla", "merge_key": "agenttesla"})
+    c = graph.create_node("Malware", {"name": "agent_tesla", "merge_key": "agent_tesla"})
+    other = graph.create_node("Malware", {"name": "stuxnet", "merge_key": "stuxnet"})
+    ip = graph.create_node("IP", {"name": "10.0.0.1"})
+    actor = graph.create_node("ThreatActor", {"name": "mummy spider"})
+    graph.create_edge(a.node_id, "CONNECTS_TO", ip.node_id, {"weight": 2})
+    graph.create_edge(b.node_id, "CONNECTS_TO", ip.node_id, {"weight": 1})
+    graph.create_edge(c.node_id, "ATTRIBUTED_TO", actor.node_id)
+    graph.create_edge(other.node_id, "CONNECTS_TO", ip.node_id)
+    return graph, (a, b, c, other, ip, actor)
+
+
+class TestKnowledgeFusion:
+    def test_alias_groups_found(self):
+        graph, (a, b, c, other, *_rest) = seeded_graph()
+        groups = KnowledgeFusion().find_alias_groups(graph)
+        assert len(groups) == 1
+        assert set(groups[0]) == {a.node_id, b.node_id, c.node_id}
+
+    def test_merge_migrates_edges(self):
+        graph, (_a, _b, _c, _other, ip, actor) = seeded_graph()
+        report = KnowledgeFusion().run(graph)
+        assert report.groups_merged == 1
+        assert report.aliases_resolved == 2
+        assert graph.node_count == 4  # 1 fused malware + stuxnet + ip + actor
+        (fused,) = [
+            n
+            for n in graph.nodes("Malware")
+            if squash(str(n.properties["name"])) == "agenttesla"
+        ]
+        # edge weights combined, both relation types preserved
+        connects = [
+            e for e in graph.out_edges(fused.node_id, "CONNECTS_TO")
+            if e.dst == ip.node_id
+        ]
+        assert len(connects) == 1
+        assert connects[0].properties["weight"] == 3
+        assert graph.out_edges(fused.node_id, "ATTRIBUTED_TO")[0].dst == actor.node_id
+
+    def test_aliases_recorded(self):
+        graph, _nodes = seeded_graph()
+        KnowledgeFusion().run(graph)
+        (fused,) = [
+            n
+            for n in graph.nodes("Malware")
+            if squash(str(n.properties["name"])) == "agenttesla"
+        ]
+        assert len(fused.properties["aliases"]) == 2
+
+    def test_unrelated_node_untouched(self):
+        graph, (_a, _b, _c, other, *_rest) = seeded_graph()
+        KnowledgeFusion().run(graph)
+        assert graph.has_node(other.node_id)
+
+    def test_ioc_labels_never_fused(self):
+        graph = PropertyGraph()
+        graph.create_node("Hash", {"name": "a" * 64})
+        graph.create_node("Hash", {"name": "a" * 63 + "b"})
+        report = KnowledgeFusion().run(graph)
+        assert report.groups_merged == 0
+
+    def test_idempotent(self):
+        graph, _nodes = seeded_graph()
+        fusion = KnowledgeFusion()
+        first = fusion.run(graph)
+        second = fusion.run(graph)
+        assert first.groups_merged == 1
+        assert second.groups_merged == 0
+        assert second.nodes_removed == 0
+
+    def test_canonical_is_highest_degree(self):
+        graph, (a, _b, _c, _other, _ip, _actor) = seeded_graph()
+        # 'a' (agent tesla) has 1 edge; add one more to make it clearly richest
+        extra = graph.create_node("FileName", {"name": "x.exe"})
+        graph.create_edge(a.node_id, "DROPS", extra.node_id)
+        fusion = KnowledgeFusion()
+        (group,) = fusion.find_alias_groups(graph)
+        canonical = fusion.merge_group(graph, group)
+        assert canonical == a.node_id

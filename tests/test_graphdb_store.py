@@ -1,0 +1,243 @@
+"""Unit tests for the property graph store, WAL and transactions."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb import GraphDatabase, PropertyGraph, TransactionError
+
+
+@pytest.fixture
+def graph():
+    return PropertyGraph()
+
+
+class TestNodes:
+    def test_create_and_get(self, graph):
+        node = graph.create_node("Malware", {"name": "emotet"})
+        assert graph.node(node.node_id).properties["name"] == "emotet"
+
+    def test_missing_node_raises(self, graph):
+        with pytest.raises(KeyError):
+            graph.node(999)
+
+    def test_label_index(self, graph):
+        graph.create_node("Malware", {"name": "a"})
+        graph.create_node("Tool", {"name": "b"})
+        assert [n.label for n in graph.nodes("Malware")] == ["Malware"]
+
+    def test_property_index_lookup(self, graph):
+        for i in range(50):
+            graph.create_node("Malware", {"name": f"m{i}"})
+        found = graph.find_nodes("Malware", name="m7")
+        assert len(found) == 1
+
+    def test_find_on_unindexed_property(self, graph):
+        graph.create_node("Malware", {"name": "a", "severity": "high"})
+        graph.create_node("Malware", {"name": "b", "severity": "low"})
+        assert len(graph.find_nodes("Malware", severity="high")) == 1
+
+    def test_update_reindexes(self, graph):
+        node = graph.create_node("Malware", {"name": "old"})
+        graph.set_node_properties(node.node_id, {"name": "new"})
+        assert graph.find_node("Malware", name="old") is None
+        assert graph.find_node("Malware", name="new") is not None
+
+    def test_delete_node_removes_edges(self, graph):
+        a = graph.create_node("A")
+        b = graph.create_node("B")
+        graph.create_edge(a.node_id, "R", b.node_id)
+        graph.delete_node(b.node_id)
+        assert graph.edge_count == 0
+        assert graph.out_edges(a.node_id) == []
+
+    def test_restore_node_preserves_id_and_advances_counter(self, graph):
+        graph.restore_node(10, "X", {"name": "n"})
+        fresh = graph.create_node("Y")
+        assert fresh.node_id > 10
+        with pytest.raises(KeyError):
+            graph.restore_node(10, "X", {})
+
+
+class TestEdges:
+    def test_create_edge_requires_endpoints(self, graph):
+        a = graph.create_node("A")
+        with pytest.raises(KeyError):
+            graph.create_edge(a.node_id, "R", 42)
+
+    def test_adjacency(self, graph):
+        a = graph.create_node("A")
+        b = graph.create_node("B")
+        c = graph.create_node("C")
+        graph.create_edge(a.node_id, "R", b.node_id)
+        graph.create_edge(c.node_id, "S", a.node_id)
+        assert [e.type for e in graph.out_edges(a.node_id)] == ["R"]
+        assert [e.type for e in graph.in_edges(a.node_id)] == ["S"]
+        names = {n.label for n in graph.neighbors(a.node_id)}
+        assert names == {"B", "C"}
+
+    def test_neighbors_filtered_by_type_and_direction(self, graph):
+        a = graph.create_node("A")
+        b = graph.create_node("B")
+        graph.create_edge(a.node_id, "R", b.node_id)
+        assert graph.neighbors(a.node_id, edge_type="R", direction="out")
+        assert not graph.neighbors(a.node_id, edge_type="R", direction="in")
+        assert not graph.neighbors(a.node_id, edge_type="X", direction="out")
+
+    def test_counts(self, graph):
+        a = graph.create_node("A")
+        b = graph.create_node("B")
+        graph.create_edge(a.node_id, "R", b.node_id)
+        graph.create_edge(a.node_id, "R", b.node_id)
+        assert graph.node_count == 2
+        assert graph.edge_count == 2
+        assert graph.label_counts() == {"A": 1, "B": 1}
+        assert graph.edge_type_counts() == {"R": 2}
+
+    def test_degree(self, graph):
+        a = graph.create_node("A")
+        b = graph.create_node("B")
+        graph.create_edge(a.node_id, "R", b.node_id)
+        graph.create_edge(b.node_id, "R", a.node_id)
+        assert graph.degree(a.node_id) == 2
+
+
+class TestTransactions:
+    def test_commit_applies_batch(self):
+        db = GraphDatabase()
+        with db.begin() as tx:
+            m = tx.create_node("Malware", {"name": "emotet"})
+            f = tx.create_node("FileName", {"name": "x.exe"})
+            tx.create_edge(m, "DROPS", f)
+        assert db.graph.node_count == 2
+        assert db.graph.edge_count == 1
+
+    def test_rollback_discards(self):
+        db = GraphDatabase()
+        tx = db.begin()
+        tx.create_node("Malware", {"name": "emotet"})
+        tx.rollback()
+        assert db.graph.node_count == 0
+
+    def test_exception_rolls_back(self):
+        db = GraphDatabase()
+        with pytest.raises(RuntimeError):
+            with db.begin() as tx:
+                tx.create_node("Malware", {"name": "emotet"})
+                raise RuntimeError("boom")
+        assert db.graph.node_count == 0
+
+    def test_double_commit_rejected(self):
+        db = GraphDatabase()
+        tx = db.begin()
+        tx.create_node("A")
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_placeholder_mapping(self):
+        db = GraphDatabase()
+        tx = db.begin()
+        ref = tx.create_node("A", {"name": "x"})
+        assert ref < 0
+        id_map = tx.commit()
+        assert db.graph.node(id_map[ref]).properties["name"] == "x"
+
+    def test_set_properties_in_transaction(self):
+        db = GraphDatabase()
+        node = db.create_node("A", {"name": "x"})
+        with db.begin() as tx:
+            tx.set_node_properties(node.node_id, {"seen": 2})
+        assert db.graph.node(node.node_id).properties["seen"] == 2
+
+
+class TestDurability:
+    def test_wal_replay_after_reopen(self, tmp_path):
+        path = tmp_path / "db"
+        with GraphDatabase(path) as db:
+            m = db.create_node("Malware", {"name": "emotet"})
+            f = db.create_node("FileName", {"name": "x.exe"})
+            db.create_edge(m.node_id, "DROPS", f.node_id)
+        with GraphDatabase(path) as reopened:
+            assert reopened.graph.node_count == 2
+            assert reopened.graph.edge_count == 1
+            assert reopened.graph.find_node("Malware", name="emotet")
+
+    def test_snapshot_compacts_wal(self, tmp_path):
+        path = tmp_path / "db"
+        with GraphDatabase(path) as db:
+            for i in range(10):
+                db.create_node("N", {"name": f"n{i}"})
+            db.snapshot()
+            assert (path / GraphDatabase.WAL).read_text() == ""
+            db.create_node("N", {"name": "post-snapshot"})
+        with GraphDatabase(path) as reopened:
+            assert reopened.graph.node_count == 11
+            assert reopened.graph.find_node("N", name="post-snapshot")
+
+    def test_edges_after_snapshot_reference_stable_ids(self, tmp_path):
+        path = tmp_path / "db"
+        with GraphDatabase(path) as db:
+            a = db.create_node("A", {"name": "a"})
+            b = db.create_node("B", {"name": "b"})
+            db.snapshot()
+            db.create_edge(a.node_id, "R", b.node_id)
+        with GraphDatabase(path) as reopened:
+            assert reopened.graph.edge_count == 1
+
+    def test_torn_wal_tail_recovered(self, tmp_path):
+        path = tmp_path / "db"
+        with GraphDatabase(path) as db:
+            db.create_node("N", {"name": "a"})
+            db.create_node("N", {"name": "b"})
+        # simulate a crash mid-append: half a JSON record at the tail
+        wal = path / GraphDatabase.WAL
+        with wal.open("a") as handle:
+            handle.write('{"ops": [{"op": "create_node", "ref": -1, "la')
+        with GraphDatabase(path) as reopened:
+            assert reopened.graph.node_count == 2
+            # the torn tail was truncated; new writes land cleanly
+            reopened.create_node("N", {"name": "c"})
+        with GraphDatabase(path) as again:
+            assert again.graph.node_count == 3
+
+    def test_concurrent_writers_consistent(self, tmp_path):
+        db = GraphDatabase(tmp_path / "db")
+
+        def writer(k):
+            for i in range(25):
+                with db.begin() as tx:
+                    tx.create_node("N", {"name": f"{k}-{i}"})
+
+        threads = [threading.Thread(target=writer, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.graph.node_count == 100
+        db.close()
+        with GraphDatabase(tmp_path / "db") as reopened:
+            assert reopened.graph.node_count == 100
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B", "C"]),
+                st.text(min_size=1, max_size=8),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_label_counts_match_inserts(self, inserts):
+        graph = PropertyGraph()
+        expected: dict[str, int] = {}
+        for label, name in inserts:
+            graph.create_node(label, {"name": name})
+            expected[label] = expected.get(label, 0) + 1
+        assert graph.label_counts() == expected
+        assert graph.node_count == len(inserts)

@@ -1,0 +1,107 @@
+"""Integration: the stored knowledge graph matches the corpus ground truth.
+
+The web simulator knows exactly which entities, relations and IOCs
+every report contains.  After a full collect -> process -> store cycle
+the knowledge graph must reflect that truth: every disclosed IOC is a
+node connected to its report, and gold relations materialise as typed
+edges between the right entities.
+"""
+
+import pytest
+
+from repro import SecurityKG, SystemConfig
+from repro.ontology import canonical_name, normalize_verb
+
+
+@pytest.fixture(scope="module")
+def system():
+    kg = SecurityKG(
+        SystemConfig(
+            scenario_count=8,
+            reports_per_site=4,
+            sources=["ThreatPedia", "SecureListing", "NVD Shadow"],
+            connectors=["graph"],
+        )
+    )
+    kg.run_once()
+    return kg
+
+
+def _find(kg, label, name):
+    return kg.graph.find_node(label, merge_key=canonical_name(name))
+
+
+class TestIocCoverage:
+    def test_every_disclosed_ioc_is_a_node(self, system):
+        site = system.web.site_by_name("ThreatPedia")
+        for article in site.articles()[:6]:
+            for kind, values in article.content.ioc_table.items():
+                for value in values:
+                    node = _find(system, kind, value)
+                    assert node is not None, (kind, value)
+
+    def test_ioc_nodes_link_back_to_their_reports(self, system):
+        from repro.core.porter import report_id_for
+
+        site = system.web.site_by_name("SecureListing")
+        article = site.articles()[0]
+        report_id = report_id_for(article.url)
+        report_node = next(
+            (
+                n
+                for n in system.graph.nodes()
+                if n.properties.get("report_id") == report_id
+            ),
+            None,
+        )
+        assert report_node is not None
+        mentioned = {
+            canonical_name(str(n.properties.get("name", "")))
+            for n in system.graph.neighbors(
+                report_node.node_id, edge_type="MENTIONS", direction="out"
+            )
+        }
+        disclosed = {
+            canonical_name(v)
+            for values in article.content.ioc_table.values()
+            for v in values
+        }
+        assert disclosed <= mentioned
+
+
+class TestRelationCoverage:
+    def test_gold_relations_materialise_as_typed_edges(self, system):
+        site = system.web.site_by_name("ThreatPedia")
+        checked = missing = 0
+        for article in site.articles()[:8]:
+            for sentence in article.content.truth.sentences:
+                for gold in sentence.relations:
+                    head = _find(system, gold.head_type.value, gold.head_text)
+                    tail = _find(system, gold.tail_type.value, gold.tail_text)
+                    if head is None or tail is None:
+                        missing += 1
+                        continue
+                    edge_type = normalize_verb(gold.verb).value
+                    edges = [
+                        e
+                        for e in system.graph.out_edges(head.node_id, edge_type)
+                        if e.dst == tail.node_id
+                    ]
+                    checked += 1
+                    if not edges:
+                        missing += 1
+        assert checked > 10
+        # the gazetteer extractor misses unseen names; everything it
+        # can see must be wired correctly
+        assert missing <= checked * 0.5
+
+    def test_edges_carry_provenance(self, system):
+        behavioural = [
+            e
+            for e in system.graph.edges()
+            if e.type in ("DROPS", "CONNECTS_TO", "USES", "ENCRYPTS")
+        ]
+        assert behavioural
+        for edge in behavioural[:20]:
+            assert edge.properties.get("reports"), edge
+            assert edge.properties.get("weight", 0) >= 1

@@ -1,0 +1,167 @@
+"""Unit tests for the linear-chain CRF."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.nlp.crf import LinearChainCRF
+
+
+def make_toy_data(n, seed=0):
+    """Words starting with 'a' are labelled A; after 'a'-words, 'b'-words
+    are B (tests transitions); everything else O."""
+    rng = random.Random(seed)
+    vocab = ["ant", "apple", "bog", "bat", "cat", "dog"]
+    X, Y = [], []
+    for _ in range(n):
+        words = [rng.choice(vocab) for _ in range(rng.randint(3, 9))]
+        labels = []
+        for i, w in enumerate(words):
+            if w.startswith("a"):
+                labels.append("A")
+            elif w.startswith("b") and i > 0 and words[i - 1].startswith("a"):
+                labels.append("B")
+            else:
+                labels.append("O")
+        X.append([[f"w={w}", f"p1={w[0]}"] for w in words])
+        Y.append(labels)
+    return X, Y
+
+
+@pytest.fixture(scope="module")
+def toy_crf():
+    X, Y = make_toy_data(120)
+    return LinearChainCRF(l2=0.01, max_iterations=80).fit(X, Y)
+
+
+class TestTraining:
+    def test_learns_emissions_and_transitions(self, toy_crf):
+        X, Y = make_toy_data(40, seed=1)
+        correct = total = 0
+        for feats, labels in zip(X, Y):
+            pred = toy_crf.predict(feats)
+            correct += sum(p == g for p, g in zip(pred, labels))
+            total += len(labels)
+        assert correct / total > 0.97
+
+    def test_transition_signal_used(self, toy_crf):
+        # 'bat' after an 'a'-word must be B, standalone must be O --
+        # emission features alone cannot distinguish these.
+        pred = toy_crf.predict([["w=ant", "p1=a"], ["w=bat", "p1=b"]])
+        assert pred == ["A", "B"]
+        pred2 = toy_crf.predict([["w=cat", "p1=c"], ["w=bat", "p1=b"]])
+        assert pred2 == ["O", "O"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LinearChainCRF().fit([[["f"]]], [])
+
+    def test_unknown_features_ignored_at_predict(self, toy_crf):
+        pred = toy_crf.predict([["w=zebra", "never-seen"]])
+        assert len(pred) == 1
+
+
+class TestInference:
+    def test_marginals_sum_to_one(self, toy_crf):
+        marginals = toy_crf.predict_marginals([["w=ant"], ["w=bog"], ["w=cat"]])
+        for dist in marginals:
+            assert abs(sum(dist.values()) - 1.0) < 1e-6
+
+    def test_marginals_agree_with_viterbi_when_confident(self, toy_crf):
+        feats = [["w=ant", "p1=a"], ["w=cat", "p1=c"]]
+        viterbi = toy_crf.predict(feats)
+        marginals = toy_crf.predict_marginals(feats)
+        argmax = [max(d, key=d.get) for d in marginals]
+        assert viterbi == argmax
+
+    def test_empty_sentence(self, toy_crf):
+        assert toy_crf.predict([]) == []
+        assert toy_crf.predict_marginals([]) == []
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearChainCRF().predict([["f"]])
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, toy_crf, tmp_path):
+        path = tmp_path / "model"
+        toy_crf.save(path)
+        loaded = LinearChainCRF.load(path)
+        feats = [["w=ant", "p1=a"], ["w=bat", "p1=b"], ["w=cat", "p1=c"]]
+        assert loaded.predict(feats) == toy_crf.predict(feats)
+        np.testing.assert_allclose(loaded.emission, toy_crf.emission)
+        np.testing.assert_allclose(loaded.transition, toy_crf.transition)
+
+
+class TestGradient:
+    def test_gradient_matches_finite_differences(self):
+        """The analytic gradient must match numeric differentiation."""
+        X, Y = make_toy_data(4, seed=3)
+        crf = LinearChainCRF(l2=0.1)
+        crf._build_vocab(X, Y)
+        encoded = [crf._encode(s, l) for s, l in zip(X, Y)]
+        n_features = len(crf.feature_index)
+        n_labels = len(crf.labels)
+        size = n_features * n_labels + (n_labels + 1) * n_labels
+        rng = np.random.default_rng(0)
+        theta = rng.normal(scale=0.1, size=size)
+
+        def objective(t):
+            emission = t[: n_features * n_labels].reshape(n_features, n_labels)
+            transition = t[n_features * n_labels :].reshape(n_labels + 1, n_labels)
+            value = 0.0
+            for sentence in encoded:
+                scores = crf._scores(sentence, emission)
+                _a, _b, log_z = crf._forward_backward(scores, transition)
+                labels = sentence.labels
+                path = transition[n_labels, labels[0]] + scores[0, labels[0]]
+                for i in range(1, len(labels)):
+                    path += transition[labels[i - 1], labels[i]] + scores[i, labels[i]]
+                value -= path - log_z
+            return value + 0.5 * crf.l2 * float(t @ t)
+
+        # analytic gradient via the internal objective
+        emission_size = n_features * n_labels
+
+        def full(t):
+            emission = t[:emission_size].reshape(n_features, n_labels)
+            transition = t[emission_size:].reshape(n_labels + 1, n_labels)
+            grad_e = np.zeros_like(emission)
+            grad_t = np.zeros_like(transition)
+            value = 0.0
+            trans = transition[:n_labels]
+            for sentence in encoded:
+                scores = crf._scores(sentence, emission)
+                alpha, beta, log_z = crf._forward_backward(scores, transition)
+                labels = sentence.labels
+                path = transition[n_labels, labels[0]] + scores[0, labels[0]]
+                for i in range(1, len(labels)):
+                    path += trans[labels[i - 1], labels[i]] + scores[i, labels[i]]
+                value -= path - log_z
+                marg = np.exp(alpha + beta - log_z)
+                for i, ids in enumerate(sentence.features):
+                    if len(ids):
+                        grad_e[ids] += marg[i]
+                        grad_e[ids, labels[i]] -= 1.0
+                grad_t[n_labels] += marg[0]
+                grad_t[n_labels, labels[0]] -= 1.0
+                for i in range(1, len(labels)):
+                    pair = (
+                        alpha[i - 1][:, None] + trans + (scores[i] + beta[i])[None, :] - log_z
+                    )
+                    grad_t[:n_labels] += np.exp(pair)
+                    grad_t[labels[i - 1], labels[i]] -= 1.0
+            value += 0.5 * crf.l2 * float(t @ t)
+            grad = np.concatenate([grad_e.ravel(), grad_t.ravel()]) + crf.l2 * t
+            return value, grad
+
+        _value, grad = full(theta)
+        eps = 1e-5
+        indices = rng.choice(size, size=12, replace=False)
+        for index in indices:
+            bump = np.zeros(size)
+            bump[index] = eps
+            numeric = (objective(theta + bump) - objective(theta - bump)) / (2 * eps)
+            assert abs(numeric - grad[index]) < 1e-4, index

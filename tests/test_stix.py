@@ -1,0 +1,137 @@
+"""Tests for STIX export/import."""
+
+import json
+
+import pytest
+
+from repro import SecurityKG, SystemConfig
+from repro.graphdb import PropertyGraph
+from repro.ontology.stix import (
+    StixBundle,
+    export_graph,
+    import_bundle,
+    stix_id,
+)
+
+
+@pytest.fixture
+def small_graph():
+    graph = PropertyGraph()
+    malware = graph.create_node(
+        "Malware",
+        {"name": "emotet", "merge_key": "emotet", "aliases": ["Emotet-A"]},
+    )
+    actor = graph.create_node(
+        "ThreatActor", {"name": "mummy spider", "merge_key": "mummy spider"}
+    )
+    ip = graph.create_node("IP", {"name": "10.0.0.1", "merge_key": "10.0.0.1"})
+    vendor = graph.create_node("Vendor", {"name": "Arcane Labs"})
+    report = graph.create_node(
+        "MalwareReport",
+        {
+            "name": "Emotet returns",
+            "report_id": "r1",
+            "source": "ThreatPedia",
+            "url": "https://x/r1",
+            "published": "2021-01-01",
+        },
+    )
+    graph.create_edge(malware.node_id, "ATTRIBUTED_TO", actor.node_id)
+    graph.create_edge(malware.node_id, "CONNECTS_TO", ip.node_id, {"weight": 3})
+    graph.create_edge(report.node_id, "MENTIONS", malware.node_id)
+    graph.create_edge(report.node_id, "MENTIONS", ip.node_id)
+    graph.create_edge(report.node_id, "CREATED_BY", vendor.node_id)
+    return graph
+
+
+class TestExport:
+    def test_object_types(self, small_graph):
+        bundle = export_graph(small_graph)
+        types = {o["type"] for o in bundle.objects}
+        assert {"malware", "intrusion-set", "indicator", "identity",
+                "report", "relationship"} <= types
+
+    def test_indicator_pattern(self, small_graph):
+        bundle = export_graph(small_graph)
+        (indicator,) = bundle.by_type("indicator")
+        assert indicator["pattern"] == "[ipv4-addr:value = '10.0.0.1']"
+
+    def test_report_refs_and_creator(self, small_graph):
+        bundle = export_graph(small_graph)
+        (report,) = bundle.by_type("report")
+        assert len(report["object_refs"]) == 2
+        (identity,) = bundle.by_type("identity")
+        assert report["created_by_ref"] == identity["id"]
+
+    def test_relationship_objects(self, small_graph):
+        bundle = export_graph(small_graph)
+        relationships = bundle.by_type("relationship")
+        rel_types = {r["relationship_type"] for r in relationships}
+        assert rel_types == {"attributed-to", "communicates-with"}
+        weights = {r["x_weight"] for r in relationships}
+        assert 3 in weights
+
+    def test_aliases_exported(self, small_graph):
+        bundle = export_graph(small_graph)
+        (malware,) = bundle.by_type("malware")
+        assert malware["aliases"] == ["Emotet-A"]
+
+    def test_deterministic_ids(self, small_graph):
+        first = export_graph(small_graph).to_json()
+        second = export_graph(small_graph).to_json()
+        assert first == second
+
+    def test_stix_id_shape(self):
+        value = stix_id("malware", "emotet")
+        prefix, _, suffix = value.partition("--")
+        assert prefix == "malware"
+        assert len(suffix) == 36
+
+    def test_json_serialisable(self, small_graph):
+        payload = export_graph(small_graph).to_json(indent=2)
+        assert json.loads(payload)["type"] == "bundle"
+
+
+class TestImport:
+    def test_round_trip_counts(self, small_graph):
+        bundle = export_graph(small_graph)
+        rebuilt = import_bundle(bundle)
+        assert rebuilt.node_count == small_graph.node_count
+        assert rebuilt.edge_count == small_graph.edge_count
+
+    def test_round_trip_edge_types(self, small_graph):
+        rebuilt = import_bundle(export_graph(small_graph))
+        assert rebuilt.edge_type_counts() == small_graph.edge_type_counts()
+
+    def test_round_trip_labels(self, small_graph):
+        rebuilt = import_bundle(export_graph(small_graph))
+        assert rebuilt.label_counts() == small_graph.label_counts()
+
+    def test_accepts_plain_dict(self, small_graph):
+        payload = json.loads(export_graph(small_graph).to_json())
+        rebuilt = import_bundle(payload)
+        assert rebuilt.node_count == small_graph.node_count
+
+    def test_bundle_of_empty_graph(self):
+        bundle = export_graph(PropertyGraph())
+        assert import_bundle(bundle).node_count == 0
+
+
+class TestEndToEndExport:
+    def test_full_system_graph_exports(self):
+        kg = SecurityKG(
+            SystemConfig(
+                scenario_count=5,
+                reports_per_site=2,
+                sources=["ThreatPedia", "NVD Shadow"],
+                connectors=["graph"],
+            )
+        )
+        kg.run_once()
+        bundle = export_graph(kg.graph)
+        assert len(bundle.objects) > kg.graph.node_count  # + relationships
+        rebuilt = import_bundle(bundle)
+        assert rebuilt.label_counts() == kg.graph.label_counts()
+        assert rebuilt.edge_type_counts() == kg.graph.edge_type_counts()
+        # and the bundle is consumable as JSON
+        assert isinstance(StixBundle(bundle.objects).to_json(), str)

@@ -1,0 +1,186 @@
+"""Tests for the audit simulator and knowledge-enhanced threat hunting."""
+
+import pytest
+
+from repro import SecurityKG, SystemConfig
+from repro.apps.threat_hunting import IocFeedHunter, ThreatHunter
+from repro.audit import (
+    AuditEvent,
+    AuditEventType,
+    AuditLogSimulator,
+    AuditLog,
+    simulate,
+)
+from repro.graphdb import PropertyGraph
+
+
+class TestAuditEvents:
+    def test_round_trip(self):
+        event = AuditEvent(
+            event_id=1,
+            timestamp=123.0,
+            host="ws01",
+            event_type=AuditEventType.NET_CONNECT,
+            process="x.exe",
+            object_value="10.0.0.1",
+        )
+        assert AuditEvent.from_json(event.to_json()) == event
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        from repro.websim import make_scenarios
+
+        return make_scenarios(5, seed=3)
+
+    def test_deterministic(self, scenarios):
+        log1 = simulate(scenarios, attacks=2, benign_events=50, seed=9)
+        log2 = simulate(scenarios, attacks=2, benign_events=50, seed=9)
+        assert [e.event.to_dict() for e in log1.entries] == [
+            e.event.to_dict() for e in log2.entries
+        ]
+
+    def test_labels_partition(self, scenarios):
+        log = simulate(scenarios, attacks=2, benign_events=60)
+        labels = {entry.label for entry in log.entries}
+        assert labels == {"benign", "attack", "contaminated"}
+
+    def test_attack_trace_uses_scenario_iocs(self, scenarios):
+        simulator = AuditLogSimulator(seed=1)
+        log = AuditLog()
+        scenario = scenarios[0]
+        simulator.emit_attack(log, scenario)
+        values = {entry.event.object_value for entry in log.entries}
+        assert set(scenario.ips[:2]) <= values
+        assert set(scenario.registry_keys) <= values
+
+    def test_attack_events_share_one_host(self, scenarios):
+        simulator = AuditLogSimulator(seed=1)
+        log = AuditLog()
+        host = simulator.emit_attack(log, scenarios[0])
+        assert {entry.event.host for entry in log.entries} == {host}
+
+    def test_timestamps_increase(self, scenarios):
+        log = simulate(scenarios, attacks=1, benign_events=30)
+        times = [entry.event.timestamp for entry in log.entries]
+        assert times == sorted(times)
+
+    def test_truth_lookup(self, scenarios):
+        log = simulate(scenarios, attacks=1, benign_events=10)
+        entry = log.entries[0]
+        assert log.truth_for(entry.event.event_id) is entry
+        with pytest.raises(KeyError):
+            log.truth_for(10**9)
+
+
+@pytest.fixture(scope="module")
+def hunting_setup():
+    kg = SecurityKG(
+        SystemConfig(scenario_count=10, reports_per_site=4, connectors=["graph"])
+    )
+    kg.run_once()
+    log = simulate(
+        kg.web.scenarios, attacks=3, benign_events=300, contamination_per_scenario=2
+    )
+    return kg, log
+
+
+class TestThreatHunter:
+    def test_full_event_recall(self, hunting_setup):
+        kg, log = hunting_setup
+        hunter = ThreatHunter(kg.graph)
+        alerts = hunter.scan(log.events)
+        alerted_ids = {a.event.event_id for a in alerts}
+        assert log.attack_event_ids <= alerted_ids
+
+    def test_alerts_attributed(self, hunting_setup):
+        kg, log = hunting_setup
+        alerts = ThreatHunter(kg.graph).scan(log.events)
+        attributed = [a for a in alerts if a.attributed_to]
+        assert len(attributed) / len(alerts) > 0.9
+
+    def test_confirmed_incidents_are_real_attacks(self, hunting_setup):
+        kg, log = hunting_setup
+        incidents = ThreatHunter(kg.graph).hunt(log.events)
+        confirmed = [i for i in incidents if i.confirmed]
+        assert confirmed
+        for incident in confirmed:
+            labels = {
+                log.truth_for(a.event.event_id).label for a in incident.alerts
+            }
+            assert "attack" in labels
+
+    def test_contamination_not_confirmed(self, hunting_setup):
+        kg, log = hunting_setup
+        incidents = ThreatHunter(kg.graph).hunt(log.events)
+        for incident in incidents:
+            labels = {
+                log.truth_for(a.event.event_id).label for a in incident.alerts
+            }
+            if labels == {"contaminated"}:
+                assert not incident.confirmed
+
+    def test_confirmed_incident_enriched(self, hunting_setup):
+        kg, log = hunting_setup
+        incidents = [i for i in ThreatHunter(kg.graph).hunt(log.events) if i.confirmed]
+        top = incidents[0]
+        assert top.related_iocs, "hunt-forward list must come from the graph"
+        assert "CONFIRMED" in top.summary()
+
+    def test_benign_only_log_raises_nothing_confirmed(self, hunting_setup):
+        kg, _log = hunting_setup
+        from repro.audit.simulate import AuditLogSimulator, AuditLog
+
+        simulator = AuditLogSimulator(seed=11)
+        benign = AuditLog()
+        simulator.emit_benign(benign, 200)
+        incidents = ThreatHunter(kg.graph).hunt(benign.events)
+        assert not [i for i in incidents if i.confirmed]
+
+    def test_empty_graph(self):
+        hunter = ThreatHunter(PropertyGraph())
+        assert hunter.scan([]) == []
+        assert hunter.hunt([]) == []
+
+
+class TestIncidentSerialization:
+    def test_to_dict_round_trips_through_json(self, hunting_setup):
+        import json
+
+        kg, log = hunting_setup
+        incidents = ThreatHunter(kg.graph).hunt(log.events)
+        confirmed = [i for i in incidents if i.confirmed][0]
+        payload = json.loads(json.dumps(confirmed.to_dict()))
+        assert payload["confirmed"] is True
+        assert payload["evidence"]
+        assert set(payload["evidence"][0]) == {
+            "event_id", "event_type", "process", "ioc_kind", "ioc_value",
+        }
+
+
+class TestBaselineComparison:
+    def test_baseline_matches_same_events(self, hunting_setup):
+        kg, log = hunting_setup
+        kg_alerts = ThreatHunter(kg.graph).scan(log.events)
+        feed_alerts = IocFeedHunter.from_graph(kg.graph).scan(log.events)
+        assert {a.event.event_id for a in kg_alerts} == {
+            a.event.event_id for a in feed_alerts
+        }
+
+    def test_baseline_cannot_attribute(self, hunting_setup):
+        kg, log = hunting_setup
+        feed_alerts = IocFeedHunter.from_graph(kg.graph).scan(log.events)
+        assert all(not a.attributed_to for a in feed_alerts)
+
+    def test_baseline_flags_contamination_indistinguishably(self, hunting_setup):
+        kg, log = hunting_setup
+        feed_alerts = IocFeedHunter.from_graph(kg.graph).scan(log.events)
+        contaminated_alerted = [
+            a
+            for a in feed_alerts
+            if log.truth_for(a.event.event_id).label == "contaminated"
+        ]
+        # a flat feed fires on coincidental matches and has no machinery
+        # to demote them -- the false positives correlation suppresses
+        assert contaminated_alerted
