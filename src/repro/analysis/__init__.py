@@ -1,0 +1,68 @@
+"""Static analysis for the reproduction: query checking and repo lint.
+
+Two analyzers share one diagnostics core (:mod:`.diagnostics`):
+
+* :mod:`.cypher_check` -- semantic analysis of parsed Cypher queries
+  against the ontology/graph schema (unknown labels, unbound
+  variables, type mismatches, ...).
+* :mod:`.lint` -- an ``ast`` pass over ``src/repro`` enforcing the
+  determinism/concurrency invariants from the ROADMAP.
+
+Only the diagnostics core is imported eagerly; the analyzers are
+exposed lazily (PEP 562) so that :mod:`repro.graphdb` can import this
+package without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    caret_block,
+    errors,
+    render,
+    warnings,
+)
+
+_LAZY = {
+    "CypherAnalyzer": "repro.analysis.cypher_check",
+    "QuerySchema": "repro.analysis.cypher_check",
+    "analyze_query": "repro.analysis.cypher_check",
+    "ontology_schema": "repro.analysis.cypher_check",
+    "graph_schema": "repro.analysis.cypher_check",
+    "schema_for": "repro.analysis.cypher_check",
+    "lint_paths": "repro.analysis.lint",
+    "cypher_check": "repro.analysis.cypher_check",
+    "lint": "repro.analysis.lint",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    if name in ("cypher_check", "lint"):
+        return module
+    return getattr(module, name)
+
+
+__all__ = [
+    "CypherAnalyzer",
+    "Diagnostic",
+    "QuerySchema",
+    "Severity",
+    "Span",
+    "analyze_query",
+    "caret_block",
+    "errors",
+    "graph_schema",
+    "lint_paths",
+    "ontology_schema",
+    "render",
+    "schema_for",
+    "warnings",
+]

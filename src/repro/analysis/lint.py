@@ -1,0 +1,740 @@
+"""Repo invariant lint.
+
+An :mod:`ast` pass over ``src/repro`` enforcing the determinism and
+concurrency invariants the deterministic-replay pipeline depends on
+(ROADMAP north star).  Rules:
+
+``det/global-random``
+    Direct calls into the global :mod:`random` module (``random.random()``,
+    ``from random import randint``).  All randomness must flow through
+    seeded ``random.Random`` instances derived via :mod:`repro.websim.rnd`
+    (constructing ``random.Random(seed)`` is fine).
+``det/wall-clock``
+    ``time.time()`` / ``time.time_ns()`` / ``datetime.now()`` /
+    ``datetime.utcnow()`` / ``date.today()`` reads.  Wall-clock reads make
+    replays diverge; ``time.monotonic`` / ``perf_counter`` / ``sleep``
+    are allowed (they never enter recorded state).
+``conc/unlocked-shared-write``
+    In the threaded sections of ``crawlers/engine.py`` and
+    ``core/pipeline.py``: a write to shared mutable state (attribute or
+    subscript store, list/dict mutator call on a non-local object) from
+    a function reachable from a ``threading.Thread(target=...)`` without
+    an enclosing ``with <lock>:``.
+``err/bare-except``
+    ``except:`` with no exception type.
+``err/silent-swallow``
+    ``except Exception: pass`` (or ``BaseException``) -- a handler that
+    catches everything and does nothing.
+``ser/unserializable-field``
+    Dataclass fields in ``ontology/intermediate.py`` (the pipelined
+    hand-off records) whose annotated type is not JSON-safe.
+
+Findings can be suppressed with a ``# repro: allow[rule]`` comment on
+the offending line or the line above; ``rule`` is the full id
+(``det/wall-clock``) or its leaf (``wall-clock``).  The committed
+baseline (``analysis/baseline.json``) grandfathers existing findings so
+CI fails only on new violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+#: Root the default scan covers: the installed ``repro`` package source.
+DEFAULT_ROOT = Path(__file__).resolve().parents[1]
+#: Committed baseline of grandfathered findings.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+#: Modules allowed to touch global randomness / simulated clocks.
+SANCTIONED_SUFFIXES = ("websim/rnd.py", "websim/network.py")
+#: Files whose threaded sections the concurrency rule covers.
+CONCURRENCY_SUFFIXES = ("crawlers/engine.py", "core/pipeline.py")
+#: Files whose dataclasses must stay JSON-serialisable (pipeline hand-offs).
+SERIALIZABLE_SUFFIXES = ("ontology/intermediate.py",)
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+_WALL_CLOCK_TIME = frozenset({"time", "time_ns"})
+_WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+# List/dict mutators only: set-style names ("add", "discard") collide
+# with internally synchronised domain APIs (Frontier.add, Queue.put).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "update",
+        "setdefault",
+        "popitem",
+    }
+)
+
+
+def _has_suffix(path: Path, suffixes: tuple[str, ...]) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+def _suppressed(lines: list[str], lineno: int, rule: str) -> bool:
+    """Whether ``# repro: allow[rule]`` covers 1-based line ``lineno``."""
+    leaf = rule.rsplit("/", 1)[-1]
+    for index in (lineno - 1, lineno - 2):
+        if 0 <= index < len(lines):
+            for match in _ALLOW_RE.finditer(lines[index]):
+                allowed = {part.strip() for part in match.group(1).split(",")}
+                if rule in allowed or leaf in allowed:
+                    return True
+    return False
+
+
+class _FileLint:
+    """Collects diagnostics for one python source file."""
+
+    def __init__(self, path: Path, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        try:
+            self.display = os.path.relpath(path)
+        except ValueError:  # different drive on windows
+            self.display = str(path)
+        self.findings: list[Diagnostic] = []
+
+    def add(self, rule: str, message: str, node: ast.AST) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if _suppressed(self.lines, lineno, rule):
+            return
+        self.findings.append(
+            Diagnostic(
+                rule=rule,
+                severity=Severity.ERROR,
+                message=message,
+                path=self.display,
+                line=lineno,
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    def run(self) -> list[Diagnostic]:
+        try:
+            tree = ast.parse(self.source)
+        except SyntaxError as error:
+            self.findings.append(
+                Diagnostic(
+                    rule="lint/syntax-error",
+                    severity=Severity.ERROR,
+                    message=f"cannot parse: {error.msg}",
+                    path=self.display,
+                    line=error.lineno or 0,
+                    col=error.offset or 0,
+                )
+            )
+            return self.findings
+        if not _has_suffix(self.path, SANCTIONED_SUFFIXES):
+            self._check_determinism(tree)
+        self._check_exception_handling(tree)
+        if _has_suffix(self.path, CONCURRENCY_SUFFIXES):
+            self._check_concurrency(tree)
+        if _has_suffix(self.path, SERIALIZABLE_SUFFIXES):
+            self._check_serializability(tree)
+        return self.findings
+
+    # -- determinism -------------------------------------------------------
+
+    def _check_determinism(self, tree: ast.Module) -> None:
+        module_aliases: dict[str, str] = {}  # local name -> module
+        from_imports: dict[str, tuple[str, str]] = {}  # local -> (mod, name)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("random", "time", "datetime"):
+                        module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "random",
+                "time",
+                "datetime",
+            ):
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+        if not module_aliases and not from_imports:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                self._check_nondeterministic_call(
+                    node, module_aliases, from_imports
+                )
+
+    def _check_nondeterministic_call(
+        self,
+        node: ast.Call,
+        module_aliases: dict[str, str],
+        from_imports: dict[str, tuple[str, str]],
+    ) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = from_imports.get(func.id)
+            if origin is None:
+                return
+            module, name = origin
+            if module == "random" and name not in ("Random",):
+                self._flag_global_random(node, f"random.{name}")
+            elif module == "time" and name in _WALL_CLOCK_TIME:
+                self._flag_wall_clock(node, f"time.{name}")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if isinstance(base, ast.Name):
+            module = module_aliases.get(base.id)
+            if module == "random" and func.attr not in ("Random",):
+                self._flag_global_random(node, f"random.{func.attr}")
+                return
+            if module == "time" and func.attr in _WALL_CLOCK_TIME:
+                self._flag_wall_clock(node, f"time.{func.attr}")
+                return
+            # from datetime import datetime/date; datetime.now()
+            origin = from_imports.get(base.id)
+            if (
+                origin is not None
+                and origin[0] == "datetime"
+                and origin[1] in ("datetime", "date")
+                and func.attr in _WALL_CLOCK_DATETIME
+            ):
+                self._flag_wall_clock(node, f"{origin[1]}.{func.attr}")
+            return
+        # import datetime; datetime.datetime.now()
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and module_aliases.get(base.value.id) == "datetime"
+            and base.attr in ("datetime", "date")
+            and func.attr in _WALL_CLOCK_DATETIME
+        ):
+            self._flag_wall_clock(node, f"datetime.{base.attr}.{func.attr}")
+
+    def _flag_global_random(self, node: ast.Call, what: str) -> None:
+        self.add(
+            "det/global-random",
+            f"{what}() uses the shared global RNG; derive a seeded "
+            "random.Random via repro.websim.rnd instead",
+            node,
+        )
+
+    def _flag_wall_clock(self, node: ast.Call, what: str) -> None:
+        self.add(
+            "det/wall-clock",
+            f"{what}() reads the wall clock, which breaks deterministic "
+            "replay; thread a timestamp in from the caller or use the "
+            "simulated clock",
+            node,
+        )
+
+    # -- exception hygiene -------------------------------------------------
+
+    def _check_exception_handling(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                self.add(
+                    "err/bare-except",
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                    node,
+                )
+                continue
+            if self._catches_everything(node.type) and all(
+                self._is_noop(stmt) for stmt in node.body
+            ):
+                self.add(
+                    "err/silent-swallow",
+                    "handler catches Exception and does nothing, hiding "
+                    "failures; log or re-raise",
+                    node,
+                )
+
+    @staticmethod
+    def _catches_everything(expr: ast.expr) -> bool:
+        names: list[ast.expr] = (
+            list(expr.elts) if isinstance(expr, ast.Tuple) else [expr]
+        )
+        for item in names:
+            if isinstance(item, ast.Name) and item.id in (
+                "Exception",
+                "BaseException",
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        )
+
+    # -- concurrency -------------------------------------------------------
+
+    def _check_concurrency(self, tree: ast.Module) -> None:
+        defs: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.setdefault(node.name, []).append(node)
+
+        threaded = self._threaded_functions(tree, defs)
+        for name in sorted(threaded):
+            for fn in defs.get(name, ()):
+                if fn.name in ("__init__", "__post_init__"):
+                    continue
+                self._scan_threaded(fn)
+
+    @staticmethod
+    def _threaded_functions(
+        tree: ast.Module, defs: dict[str, list]
+    ) -> set[str]:
+        """Thread targets plus everything they (transitively) call.
+
+        Resolution is by name -- ``self._process(...)`` marks every
+        function named ``_process`` in the file -- which over-
+        approximates, the right direction for a safety lint.
+        """
+        entries: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_thread = (isinstance(func, ast.Name) and func.id == "Thread") or (
+                isinstance(func, ast.Attribute) and func.attr == "Thread"
+            )
+            if not is_thread:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                value = keyword.value
+                if isinstance(value, ast.Name):
+                    entries.add(value.id)
+                elif isinstance(value, ast.Attribute):
+                    entries.add(value.attr)
+
+        threaded: set[str] = set()
+        frontier = list(entries)
+        while frontier:
+            name = frontier.pop()
+            if name in threaded or name not in defs:
+                continue
+            threaded.add(name)
+            for fn in defs[name]:
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if isinstance(func, ast.Name):
+                        frontier.append(func.id)
+                    elif isinstance(func, ast.Attribute):
+                        frontier.append(func.attr)
+        return threaded
+
+    def _scan_threaded(self, fn) -> None:
+        local_names = _local_names(fn)
+        for stmt in fn.body:
+            self._scan_stmt(stmt, local_names, guarded=False)
+
+    def _scan_stmt(self, node: ast.stmt, local_names: set[str], guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are scanned separately if threaded
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                _mentions_lock(item.context_expr) for item in node.items
+            )
+            for stmt in node.body:
+                self._scan_stmt(stmt, local_names, inner)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                self._check_shared_store(target, local_names, guarded)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._scan_stmt(child, local_names, guarded)
+            elif isinstance(child, ast.expr) and not guarded:
+                self._scan_expr(child, local_names)
+
+    def _scan_expr(self, node: ast.expr, local_names: set[str]) -> None:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+            ):
+                continue
+            root = _root_name(func.value)
+            if root is not None and root not in local_names:
+                self.add(
+                    "conc/unlocked-shared-write",
+                    f"{root}.{func.attr}(...) mutates shared state from a "
+                    "threaded section without holding a lock",
+                    call,
+                )
+
+    def _check_shared_store(
+        self, target: ast.expr, local_names: set[str], guarded: bool
+    ) -> None:
+        if guarded or not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        root = _root_name(target)
+        if root is None or root in local_names:
+            return
+        self.add(
+            "conc/unlocked-shared-write",
+            f"write through {root!r} mutates shared state from a threaded "
+            "section without holding a lock",
+            target,
+        )
+
+    # -- serializability ---------------------------------------------------
+
+    def _check_serializability(self, tree: ast.Module) -> None:
+        dataclasses = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node)
+        ]
+        same_module = {cls.name for cls in dataclasses}
+        safe_names = (
+            {
+                "str",
+                "int",
+                "float",
+                "bool",
+                "None",
+                "NoneType",
+                "object",
+                "EntityType",
+                "RelationType",
+            }
+            | same_module
+        )
+        for cls in dataclasses:
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                if not self._json_safe(stmt.annotation, safe_names):
+                    self.add(
+                        "ser/unserializable-field",
+                        f"field {stmt.target.id!r} of dataclass "
+                        f"{cls.name!r} has a non-JSON-serialisable type "
+                        f"annotation; pipeline hand-off records must "
+                        "round-trip through JSON",
+                        stmt,
+                    )
+
+    def _json_safe(self, annotation: ast.expr, safe_names: set[str]) -> bool:
+        if isinstance(annotation, ast.Constant):
+            if annotation.value is None:
+                return True
+            if isinstance(annotation.value, str):
+                try:
+                    parsed = ast.parse(annotation.value, mode="eval").body
+                except SyntaxError:
+                    return False
+                return self._json_safe(parsed, safe_names)
+            return False
+        if isinstance(annotation, ast.Name):
+            return annotation.id in safe_names
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr in safe_names
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            return self._json_safe(annotation.left, safe_names) and self._json_safe(
+                annotation.right, safe_names
+            )
+        if isinstance(annotation, ast.Subscript):
+            container = annotation.value
+            container_name = (
+                container.id
+                if isinstance(container, ast.Name)
+                else container.attr
+                if isinstance(container, ast.Attribute)
+                else None
+            )
+            if container_name not in (
+                "list",
+                "List",
+                "dict",
+                "Dict",
+                "tuple",
+                "Tuple",
+                "Optional",
+                "Union",
+                "Sequence",
+                "Mapping",
+            ):
+                return False
+            inner = annotation.slice
+            items = list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            if container_name in ("dict", "Dict", "Mapping") and items:
+                key = items[0]
+                if not (isinstance(key, ast.Name) and key.id == "str"):
+                    return False
+            return all(self._json_safe(item, safe_names) for item in items)
+        return False
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The leftmost name of an attribute/subscript/call chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _mentions_lock(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and "lock" in name.lower():
+            return True
+    return False
+
+
+def _local_names(fn) -> set[str]:
+    """Names bound by plain assignment inside ``fn`` (excluding params).
+
+    Parameters are deliberately *not* local: an object passed into a
+    worker is exactly the kind of shared state the rule exists for.
+    """
+    names: set[str] = set()
+    for node in _walk_shallow(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            names.update(_target_names(node.target))
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for element in target.elts:
+            out.update(_target_names(element))
+        return out
+    return set()
+
+
+def _walk_shallow(fn) -> Iterable[ast.AST]:
+    """Walk ``fn`` without descending into nested function/class defs."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def lint_file(path: Path) -> list[Diagnostic]:
+    """All findings for one file (suppressions applied, baseline not)."""
+    source = path.read_text(encoding="utf-8")
+    return _FileLint(path, source).run()
+
+
+def lint_paths(paths: Iterable[Path]) -> list[Diagnostic]:
+    """Findings across files and directories (``.py`` files, recursively)."""
+    findings: list[Diagnostic] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                findings.extend(lint_file(file))
+        else:
+            findings.extend(lint_file(path))
+    return findings
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def _baseline_key(diagnostic: Diagnostic) -> tuple[str, str, str]:
+    """A line-number-free identity for baseline matching.
+
+    Uses the path relative to the scanned package root (stable across
+    checkouts) plus the rule and the stripped source line, so findings
+    survive unrelated edits that shift line numbers.
+    """
+    path = Path(diagnostic.path or "").resolve()
+    try:
+        rel = path.relative_to(DEFAULT_ROOT).as_posix()
+    except ValueError:
+        rel = path.name
+    line_text = ""
+    if diagnostic.line:
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+            line_text = lines[diagnostic.line - 1].strip()
+        except (OSError, IndexError):
+            line_text = ""
+    return (rel, diagnostic.rule, line_text)
+
+
+def write_baseline(findings: list[Diagnostic], path: Path) -> int:
+    """Persist current findings as the baseline; returns the entry count."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for diagnostic in findings:
+        counts[_baseline_key(diagnostic)] = (
+            counts.get(_baseline_key(diagnostic), 0) + 1
+        )
+    entries = [
+        {"path": rel, "rule": rule, "line": line_text, "count": count}
+        for (rel, rule, line_text), count in sorted(counts.items())
+    ]
+    path.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path) -> dict[tuple[str, str, str], int]:
+    if not path.exists():
+        return {}
+    entries = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        (entry["path"], entry["rule"], entry["line"]): int(
+            entry.get("count", 1)
+        )
+        for entry in entries
+    }
+
+
+def apply_baseline(
+    findings: list[Diagnostic], baseline: dict[tuple[str, str, str], int]
+) -> list[Diagnostic]:
+    """Findings not covered by the baseline (count-aware)."""
+    remaining = dict(baseline)
+    new: list[Diagnostic] = []
+    for diagnostic in findings:
+        key = _baseline_key(diagnostic)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            continue
+        new.append(diagnostic)
+    return new
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
+    """``repro-lint`` / ``python -m repro lint`` entry point.
+
+    Exits 0 when no findings beyond the baseline, 1 otherwise.
+    """
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static lint of the repro determinism/concurrency invariants",
+        allow_abbrev=False,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to lint (default: {DEFAULT_ROOT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    findings = lint_paths(args.paths or [DEFAULT_ROOT])
+    if args.write_baseline:
+        count = write_baseline(findings, args.baseline)
+        print(
+            f"baseline written: {count} entr{'y' if count == 1 else 'ies'} "
+            f"({len(findings)} finding{'s' if len(findings) != 1 else ''}) "
+            f"-> {args.baseline}",
+            file=out,
+        )
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new = apply_baseline(findings, baseline)
+    for diagnostic in new:
+        print(diagnostic.format(), file=out)
+    grandfathered = len(findings) - len(new)
+    summary = f"{len(new)} finding{'s' if len(new) != 1 else ''}"
+    if grandfathered:
+        summary += f" ({grandfathered} grandfathered by baseline)"
+    print(summary, file=out)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

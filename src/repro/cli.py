@@ -94,11 +94,18 @@ def cmd_search(args: argparse.Namespace, out) -> int:
 
 
 def cmd_cypher(args: argparse.Namespace, out) -> int:
+    from repro.graphdb.cypher import CypherAnalysisError
     from repro.graphdb.store import Edge, Node
 
     system = build_system(args)
+    strict = not getattr(args, "no_strict", False)
     try:
-        rows = system.cypher(args.query)
+        rows = system.cypher(args.query, strict=strict)
+    except CypherAnalysisError as error:
+        # Positioned diagnostics: rule id plus a caret under the span.
+        for diagnostic in error.diagnostics:
+            print(diagnostic.format(error.source), file=out)
+        return 2
     except ValueError as error:
         print(f"query error: {error}", file=out)
         return 2
@@ -117,6 +124,12 @@ def cmd_cypher(args: argparse.Namespace, out) -> int:
         )
     print(f"({len(rows)} row(s))", file=out)
     return 0
+
+
+def cmd_lint(args: argparse.Namespace, out) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(args.lint_args, out)
 
 
 def cmd_stats(args: argparse.Namespace, out) -> int:
@@ -239,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cypher", help="Cypher query over the knowledge graph")
     common(p)
     p.add_argument("query")
+    p.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="skip semantic analysis (exploratory queries)",
+    )
     p.set_defaults(func=cmd_cypher)
 
     p = sub.add_parser("stats", help="knowledge-graph statistics")
@@ -269,12 +287,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("config", help="print the default configuration")
     p.set_defaults(func=cmd_config)
 
+    p = sub.add_parser(
+        "lint",
+        help="static lint of the repro determinism/concurrency invariants",
+        add_help=False,
+    )
+    p.add_argument("lint_args", nargs=argparse.REMAINDER)
+    p.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Delegate before argparse: the lint CLI owns its own flags,
+        # which REMAINDER would otherwise swallow inconsistently.
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args, out)

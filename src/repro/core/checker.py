@@ -28,6 +28,19 @@ SECURITY_SIGNALS = frozenset(
 _AD_MARKERS = ("sponsored content", "advertisement", "buy now", "% off")
 
 
+def rendered_text(record: ReportRecord) -> str:
+    """The record's HTML rendered to text, parsed at most once.
+
+    Several checks need the rendered text; memoizing it on the record
+    instance means one parse per record instead of one per check.
+    """
+    cached = getattr(record, "_rendered_text", None)
+    if cached is None:
+        cached = parse(record.html).text()
+        record._rendered_text = cached  # type: ignore[attr-defined]
+    return cached
+
+
 def check_non_empty(record: ReportRecord) -> str | None:
     """Reject records with no page content at all."""
     if not any(page.strip() for page in record.pages):
@@ -39,7 +52,7 @@ def make_min_text_check(min_chars: int = 120) -> Check:
     """Reject records whose rendered text is shorter than ``min_chars``."""
 
     def check_min_text(record: ReportRecord) -> str | None:
-        text = parse(record.html).text()
+        text = rendered_text(record)
         if len(text) < min_chars:
             return f"text too short ({len(text)} < {min_chars} chars)"
         return None
@@ -49,7 +62,7 @@ def make_min_text_check(min_chars: int = 120) -> Check:
 
 def check_security_signal(record: ReportRecord) -> str | None:
     """Reject pages with no security-related vocabulary (ads, fluff)."""
-    text = parse(record.html).text().lower()
+    text = rendered_text(record).lower()
     if not any(signal in text for signal in SECURITY_SIGNALS):
         return "no security signal"
     return None
@@ -57,7 +70,7 @@ def check_security_signal(record: ReportRecord) -> str | None:
 
 def check_not_ad(record: ReportRecord) -> str | None:
     """Reject obvious advertising pages."""
-    text = parse(record.html).text().lower()
+    text = rendered_text(record).lower()
     if any(marker in text for marker in _AD_MARKERS):
         return "advertising content"
     return None
@@ -119,4 +132,5 @@ __all__ = [
     "check_security_signal",
     "default_checks",
     "make_min_text_check",
+    "rendered_text",
 ]

@@ -271,9 +271,13 @@ class SecurityKG:
 
     # -- applications -----------------------------------------------------------
 
-    def cypher(self, query: str) -> list[ResultRow]:
-        """Cypher search over the knowledge graph (the Neo4j path)."""
-        return self._cypher.run(query)
+    def cypher(self, query: str, strict: bool | None = None) -> list[ResultRow]:
+        """Cypher search over the knowledge graph (the Neo4j path).
+
+        Queries are semantically analyzed before execution by default;
+        ``strict=False`` skips the analysis for exploratory queries.
+        """
+        return self._cypher.run(query, strict=strict)
 
     def keyword_search(self, query: str, limit: int = 10) -> list[SearchHit]:
         """Keyword search over collected reports (the Elasticsearch path)."""

@@ -16,6 +16,7 @@ UI (:mod:`repro.graphdb.traversal`) and a Cypher-subset query engine
 """
 
 from repro.graphdb.cypher import (
+    CypherAnalysisError,
     CypherEngine,
     CypherRuntimeError,
     CypherSyntaxError,
@@ -33,6 +34,7 @@ from repro.graphdb.traversal import (
 from repro.graphdb.wal import GraphDatabase, Transaction, TransactionError
 
 __all__ = [
+    "CypherAnalysisError",
     "CypherEngine",
     "CypherRuntimeError",
     "CypherSyntaxError",

@@ -1,6 +1,7 @@
 """Cypher-subset query engine (lexer, parser, executor)."""
 
 from repro.graphdb.cypher.executor import (
+    CypherAnalysisError,
     CypherEngine,
     CypherRuntimeError,
     ResultRow,
@@ -9,6 +10,7 @@ from repro.graphdb.cypher.lexer import CypherSyntaxError, tokenize
 from repro.graphdb.cypher.parser import parse
 
 __all__ = [
+    "CypherAnalysisError",
     "CypherEngine",
     "CypherRuntimeError",
     "CypherSyntaxError",

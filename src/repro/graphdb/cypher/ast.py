@@ -1,4 +1,11 @@
-"""Cypher abstract syntax tree."""
+"""Cypher abstract syntax tree.
+
+Nodes carry optional source positions (character offsets into the
+query string, ``-1`` when unknown).  Position fields are excluded from
+equality so hand-built ASTs still compare equal to parsed ones; they
+exist solely so the semantic analyzer (:mod:`repro.analysis`) can
+point diagnostics at the offending token.
+"""
 
 from __future__ import annotations
 
@@ -20,12 +27,15 @@ class Literal(Expr):
 @dataclass(frozen=True)
 class Variable(Expr):
     name: str
+    pos: int = field(default=-1, compare=False)
 
 
 @dataclass(frozen=True)
 class Property(Expr):
     variable: str
     key: str
+    pos: int = field(default=-1, compare=False)
+    key_pos: int = field(default=-1, compare=False)
 
 
 @dataclass(frozen=True)
@@ -34,6 +44,7 @@ class Compare(Expr):
     #          'STARTS WITH', 'ENDS WITH', 'IS NULL', 'IS NOT NULL'
     left: Expr
     right: Expr | None  # None for IS [NOT] NULL
+    op_pos: int = field(default=-1, compare=False)
 
 
 @dataclass(frozen=True)
@@ -82,6 +93,10 @@ class NodePattern:
     variable: str | None
     label: str | None
     properties: tuple[tuple[str, object], ...] = ()
+    pos: int = field(default=-1, compare=False)  # '(' of the pattern
+    label_pos: int = field(default=-1, compare=False)
+    #: positions of the property-map keys, parallel to ``properties``
+    property_positions: tuple[int, ...] = field(default=(), compare=False)
 
 
 @dataclass(frozen=True)
@@ -92,6 +107,11 @@ class RelPattern:
     #: variable-length bounds; (1, 1) is a plain single-hop pattern
     min_hops: int = 1
     max_hops: int = 1
+    #: False when the upper bound came from the parser's default cap
+    #: (``*`` or ``*1..`` with no explicit maximum)
+    explicit_max: bool = field(default=True, compare=False)
+    type_pos: int = field(default=-1, compare=False)
+    star_pos: int = field(default=-1, compare=False)
 
     @property
     def is_variable_length(self) -> bool:

@@ -25,6 +25,22 @@ class CypherRuntimeError(ValueError):
     """Semantic error discovered during execution."""
 
 
+class CypherAnalysisError(CypherRuntimeError):
+    """Semantic errors caught by static analysis, before execution.
+
+    Subclasses :class:`CypherRuntimeError` so callers that treat all
+    semantic failures alike keep working; carries the structured
+    diagnostics for callers (CLI, UI server) that render them.
+    """
+
+    def __init__(self, diagnostics, source: str):
+        from repro.analysis.diagnostics import render
+
+        super().__init__(render(source, diagnostics))
+        self.diagnostics = list(diagnostics)
+        self.source = source
+
+
 Bindings = dict[str, object]
 
 
@@ -44,18 +60,49 @@ class ResultRow:
 class CypherEngine:
     """Execute parsed Cypher against a property graph."""
 
-    def __init__(self, graph: PropertyGraph):
+    def __init__(self, graph: PropertyGraph, strict: bool = True):
         self.graph = graph
+        #: default-on semantic analysis: queries with ERROR-severity
+        #: findings raise :class:`CypherAnalysisError` before execution
+        self.strict = strict
+        self._schema_cache: tuple[tuple[int, int], object] | None = None
 
     # -- public API -----------------------------------------------------
 
-    def run(self, query: str) -> list[ResultRow]:
-        """Parse and execute; returns result rows (empty for CREATE)."""
+    def run(self, query: str, strict: bool | None = None) -> list[ResultRow]:
+        """Parse, analyze (in strict mode) and execute.
+
+        Returns result rows (empty for CREATE).  ``strict=None`` uses
+        the engine default; pass ``strict=False`` for exploratory
+        queries that intentionally probe labels the graph lacks.
+        """
         parsed = parse(query)
+        if self.strict if strict is None else strict:
+            self._check(parsed, query)
         if isinstance(parsed, ast.CreateQuery):
             self._execute_create(parsed)
+            # CREATE changes the schema; drop the cached analyzer view.
+            self._schema_cache = None
             return []
         return self._execute_match(parsed)
+
+    def analyze(self, query: str | ast.Query, source: str = ""):
+        """Diagnostics for a query against this graph's schema."""
+        # Imported lazily: repro.analysis.cypher_check imports the
+        # parser from this package.
+        from repro.analysis.cypher_check import CypherAnalyzer, schema_for
+
+        key = (self.graph.node_count, self.graph.edge_count)
+        if self._schema_cache is None or self._schema_cache[0] != key:
+            self._schema_cache = (key, schema_for(self.graph))
+        return CypherAnalyzer(self._schema_cache[1]).analyze(query, source)
+
+    def _check(self, parsed: ast.Query, source: str) -> None:
+        from repro.analysis.diagnostics import errors
+
+        failures = errors(self.analyze(parsed, source))
+        if failures:
+            raise CypherAnalysisError(failures, source)
 
     # -- CREATE ------------------------------------------------------------
 
@@ -522,4 +569,10 @@ def _sort_key(value: object):
     return (value is not None, type(value).__name__, str(value))
 
 
-__all__ = ["CypherEngine", "CypherRuntimeError", "CypherSyntaxError", "ResultRow"]
+__all__ = [
+    "CypherAnalysisError",
+    "CypherEngine",
+    "CypherRuntimeError",
+    "CypherSyntaxError",
+    "ResultRow",
+]

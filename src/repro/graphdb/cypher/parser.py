@@ -138,25 +138,39 @@ class _Parser:
         return ast.PathPattern(nodes=tuple(nodes), rels=tuple(rels))
 
     def node_pattern(self) -> ast.NodePattern:
-        self.expect(TokenType.SYMBOL, "(")
+        open_token = self.expect(TokenType.SYMBOL, "(")
         variable = None
         label = None
+        label_pos = -1
         token = self.accept(TokenType.IDENT)
         if token is not None:
             variable = token.value
         if self.accept(TokenType.SYMBOL, ":"):
-            label = self._name()
+            label_token = self._name_token()
+            label = label_token.value
+            label_pos = label_token.position
         properties: tuple[tuple[str, object], ...] = ()
+        property_positions: tuple[int, ...] = ()
         if self.check(TokenType.SYMBOL, "{"):
-            properties = self.property_map()
+            properties, property_positions = self.property_map()
         self.expect(TokenType.SYMBOL, ")")
-        return ast.NodePattern(variable=variable, label=label, properties=properties)
+        return ast.NodePattern(
+            variable=variable,
+            label=label,
+            properties=properties,
+            pos=open_token.position,
+            label_pos=label_pos,
+            property_positions=property_positions,
+        )
 
     def _name(self) -> str:
+        return self._name_token().value
+
+    def _name_token(self) -> Token:
         token = self.peek()
         if token.type in (TokenType.IDENT, TokenType.KEYWORD):
             self.advance()
-            return token.value
+            return token
         raise CypherSyntaxError(
             f"expected a name at offset {token.position}, found {token.value!r}"
         )
@@ -169,15 +183,21 @@ class _Parser:
             self.expect(TokenType.SYMBOL, "-")
         variable = None
         rel_type = None
+        type_pos = star_pos = -1
         min_hops = max_hops = 1
+        explicit_max = True
         if self.accept(TokenType.SYMBOL, "["):
             token = self.accept(TokenType.IDENT)
             if token is not None:
                 variable = token.value
             if self.accept(TokenType.SYMBOL, ":"):
-                rel_type = self._name()
-            if self.accept(TokenType.SYMBOL, "*"):
-                min_hops, max_hops = self._hop_range()
+                type_token = self._name_token()
+                rel_type = type_token.value
+                type_pos = type_token.position
+            star = self.accept(TokenType.SYMBOL, "*")
+            if star is not None:
+                star_pos = star.position
+                min_hops, max_hops, explicit_max = self._hop_range()
             self.expect(TokenType.SYMBOL, "]")
         if self.accept(TokenType.SYMBOL, "->"):
             if direction == "in":
@@ -195,42 +215,57 @@ class _Parser:
             direction=direction,
             min_hops=min_hops,
             max_hops=max_hops,
+            explicit_max=explicit_max,
+            type_pos=type_pos,
+            star_pos=star_pos,
         )
 
     #: upper bound for an unbounded ``*`` (keeps traversal finite).
     DEFAULT_MAX_HOPS = 5
 
-    def _hop_range(self) -> tuple[int, int]:
-        """Parse the range after ``*``: ``*``, ``*n``, ``*n..m``, ``*..m``."""
+    def _hop_range(self) -> tuple[int, int, bool]:
+        """Parse the range after ``*``: ``*``, ``*n``, ``*n..m``, ``*..m``.
+
+        The third element reports whether the upper bound was written
+        explicitly (``False`` means it came from ``DEFAULT_MAX_HOPS``).
+        """
         low = None
+        explicit = True
         token = self.accept(TokenType.NUMBER)
         if token is not None:
             low = int(token.value)
         if self.accept(TokenType.SYMBOL, "."):
             self.expect(TokenType.SYMBOL, ".")
             token = self.accept(TokenType.NUMBER)
-            high = int(token.value) if token is not None else self.DEFAULT_MAX_HOPS
+            if token is not None:
+                high = int(token.value)
+            else:
+                high = self.DEFAULT_MAX_HOPS
+                explicit = False
             low = 1 if low is None else low
         elif low is not None:
             high = low  # '*n' means exactly n hops
         else:
             low, high = 1, self.DEFAULT_MAX_HOPS  # bare '*'
+            explicit = False
         if low < 0 or high < low:
             raise CypherSyntaxError(f"invalid hop range *{low}..{high}")
-        return low, high
+        return low, high, explicit
 
-    def property_map(self) -> tuple[tuple[str, object], ...]:
+    def property_map(self) -> tuple[tuple[tuple[str, object], ...], tuple[int, ...]]:
         self.expect(TokenType.SYMBOL, "{")
         pairs: list[tuple[str, object]] = []
+        positions: list[int] = []
         if not self.check(TokenType.SYMBOL, "}"):
             while True:
-                key = self._name()
+                key_token = self._name_token()
                 self.expect(TokenType.SYMBOL, ":")
-                pairs.append((key, self._literal_value()))
+                pairs.append((key_token.value, self._literal_value()))
+                positions.append(key_token.position)
                 if not self.accept(TokenType.SYMBOL, ","):
                     break
         self.expect(TokenType.SYMBOL, "}")
-        return tuple(pairs)
+        return tuple(pairs), tuple(positions)
 
     def _literal_value(self) -> object:
         token = self.peek()
@@ -292,6 +327,7 @@ class _Parser:
     def comparison(self) -> ast.Expr:
         left = self.primary()
         token = self.peek()
+        pos = token.position
         if token.type is TokenType.SYMBOL and token.value in (
             "=",
             "<>",
@@ -301,28 +337,28 @@ class _Parser:
             ">=",
         ):
             self.advance()
-            return ast.Compare(token.value, left, self.primary())
+            return ast.Compare(token.value, left, self.primary(), op_pos=pos)
         if token.type is TokenType.KEYWORD and token.value == "IN":
             self.advance()
-            return ast.Compare("IN", left, self.primary())
+            return ast.Compare("IN", left, self.primary(), op_pos=pos)
         if token.type is TokenType.KEYWORD and token.value == "CONTAINS":
             self.advance()
-            return ast.Compare("CONTAINS", left, self.primary())
+            return ast.Compare("CONTAINS", left, self.primary(), op_pos=pos)
         if token.type is TokenType.KEYWORD and token.value == "STARTS":
             self.advance()
             self.expect(TokenType.KEYWORD, "WITH")
-            return ast.Compare("STARTS WITH", left, self.primary())
+            return ast.Compare("STARTS WITH", left, self.primary(), op_pos=pos)
         if token.type is TokenType.KEYWORD and token.value == "ENDS":
             self.advance()
             self.expect(TokenType.KEYWORD, "WITH")
-            return ast.Compare("ENDS WITH", left, self.primary())
+            return ast.Compare("ENDS WITH", left, self.primary(), op_pos=pos)
         if token.type is TokenType.KEYWORD and token.value == "IS":
             self.advance()
             if self.accept(TokenType.KEYWORD, "NOT"):
                 self.expect(TokenType.KEYWORD, "NULL")
-                return ast.Compare("IS NOT NULL", left, None)
+                return ast.Compare("IS NOT NULL", left, None, op_pos=pos)
             self.expect(TokenType.KEYWORD, "NULL")
-            return ast.Compare("IS NULL", left, None)
+            return ast.Compare("IS NULL", left, None, op_pos=pos)
         return left
 
     def primary(self) -> ast.Expr:
@@ -375,9 +411,14 @@ class _Parser:
         if token.type is TokenType.IDENT:
             self.advance()
             if self.accept(TokenType.SYMBOL, "."):
-                key = self._name()
-                return ast.Property(token.value, key)
-            return ast.Variable(token.value)
+                key_token = self._name_token()
+                return ast.Property(
+                    token.value,
+                    key_token.value,
+                    pos=token.position,
+                    key_pos=key_token.position,
+                )
+            return ast.Variable(token.value, pos=token.position)
         raise CypherSyntaxError(
             f"unexpected token {token.value!r} at offset {token.position}"
         )

@@ -61,6 +61,10 @@ class PropertyGraph:
         self._in: dict[int, list[int]] = {}
         self._label_index: dict[str, set[int]] = {}
         self._property_index: dict[tuple[str, str, object], set[int]] = {}
+        # key -> python type names ever observed for it (node or edge
+        # properties alike); grows monotonically, feeding the Cypher
+        # semantic analyzer without a per-query graph scan.
+        self._property_types: dict[str, set[str]] = {}
         self._node_ids = itertools.count(1)
         self._edge_ids = itertools.count(1)
         self._lock = threading.RLock()
@@ -103,11 +107,16 @@ class PropertyGraph:
             return node
 
     def _index_node_properties(self, node: Node) -> None:
+        self._observe_properties(node.properties)
         for key, value in node.properties.items():
             if key in INDEXED_PROPERTIES and isinstance(value, (str, int, float, bool)):
                 self._property_index.setdefault(
                     (node.label, key, value), set()
                 ).add(node.node_id)
+
+    def _observe_properties(self, properties: dict[str, object]) -> None:
+        for key, value in properties.items():
+            self._property_types.setdefault(key, set()).add(type(value).__name__)
 
     def _deindex_node_properties(self, node: Node) -> None:
         for key, value in node.properties.items():
@@ -164,6 +173,7 @@ class PropertyGraph:
             if dst not in self._nodes:
                 raise KeyError(f"no target node {dst}")
             edge = Edge(next(self._edge_ids), edge_type, src, dst, dict(properties or {}))
+            self._observe_properties(edge.properties)
             self._edges[edge.edge_id] = edge
             self._out[src].append(edge.edge_id)
             self._in[dst].append(edge.edge_id)
@@ -189,6 +199,7 @@ class PropertyGraph:
         with self._lock:
             edge = self.edge(edge_id)
             edge.properties.update(properties)
+            self._observe_properties(edge.properties)
             return edge
 
     # -- lookups -----------------------------------------------------------
@@ -302,6 +313,15 @@ class PropertyGraph:
         for edge in self._edges.values():
             counts[edge.type] = counts.get(edge.type, 0) + 1
         return dict(sorted(counts.items()))
+
+    def property_schema(self) -> dict[str, frozenset[str]]:
+        """Property key -> python type names ever stored under it.
+
+        Maintained incrementally on every write (deletions are *not*
+        rescanned -- the schema is a monotone over-approximation, which
+        is the right shape for advisory query analysis).
+        """
+        return {key: frozenset(types) for key, types in self._property_types.items()}
 
 
 __all__ = ["Edge", "INDEXED_PROPERTIES", "Node", "PropertyGraph"]

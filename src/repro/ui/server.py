@@ -7,7 +7,8 @@ endpoints correspond one-to-one to the interactions the demo shows:
 ``GET  /api/graph``       current view (nodes with positions, edges)
 ``GET  /api/stats``       knowledge-graph size summary
 ``POST /api/search``      body ``{"query": ...}``; keyword search + focus
-``POST /api/cypher``      body ``{"query": ...}``; Cypher search
+``POST /api/cypher``      body ``{"query", "strict"?}``; Cypher search
+                          (analysis errors return 400 + diagnostics)
 ``POST /api/expand``      body ``{"id": ...}``; double-click expansion
 ``POST /api/collapse``    body ``{"id": ...}``; double-click collapse
 ``POST /api/drag``        body ``{"id", "x", "y"}``; drag with lock
@@ -23,6 +24,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.system import SecurityKG
+from repro.graphdb.cypher import CypherAnalysisError
 from repro.graphdb.store import Edge, Node
 from repro.ui.explorer import GraphExplorer
 
@@ -73,7 +75,10 @@ class ExplorerAPI:
                     "view": self.explorer.snapshot(),
                 }
             if method == "POST" and path == "/api/cypher":
-                rows = self.system.cypher(str(body.get("query", "")))
+                rows = self.system.cypher(
+                    str(body.get("query", "")),
+                    strict=bool(body.get("strict", True)),
+                )
                 return 200, {
                     "rows": [
                         {k: _jsonable(v) for k, v in row.values.items()}
@@ -100,6 +105,13 @@ class ExplorerAPI:
                 )
                 return 200, {"view": self.explorer.snapshot()}
             return 404, {"error": f"no route {method} {path}"}
+        except CypherAnalysisError as error:
+            # Rejected before execution: structured, positioned
+            # diagnostics so the frontend can underline the query.
+            return 400, {
+                "error": str(error),
+                "diagnostics": [d.to_dict() for d in error.diagnostics],
+            }
         except (KeyError, ValueError) as error:
             return 400, {"error": str(error)}
 

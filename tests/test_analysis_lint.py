@@ -1,0 +1,465 @@
+"""Tests for the repo invariant lint."""
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    apply_baseline,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    main,
+    write_baseline,
+)
+
+
+def lint_source(tmp_path: Path, source: str, name: str = "mod.py"):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(target)
+
+
+def rules(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+class TestDeterminismRules:
+    def test_global_random_call(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def pick():
+                return random.randint(0, 10)
+            """,
+        )
+        assert rules(findings) == ["det/global-random"]
+
+    def test_from_import_random(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from random import choice
+
+            def pick(items):
+                return choice(items)
+            """,
+        )
+        assert rules(findings) == ["det/global-random"]
+
+    def test_seeded_random_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed).randint(0, 10)
+            """,
+        )
+        assert findings == []
+
+    def test_time_time_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert rules(findings) == ["det/wall-clock"]
+
+    def test_monotonic_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def elapsed(start):
+                time.sleep(0.01)
+                return time.monotonic() - start
+            """,
+        )
+        assert findings == []
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from datetime import datetime
+            import datetime as dt
+
+            def stamps():
+                return datetime.now(), dt.datetime.utcnow(), dt.date.today()
+            """,
+        )
+        assert rules(findings) == ["det/wall-clock"] * 3
+
+    def test_sanctioned_module_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def roll():
+                return random.random()
+            """,
+            name="websim/rnd.py",
+        )
+        assert findings == []
+
+
+class TestExceptionRules:
+    def test_bare_except(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except:
+                    return None
+            """,
+        )
+        assert rules(findings) == ["err/bare-except"]
+
+    def test_silent_swallow(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except Exception:
+                    pass
+            """,
+        )
+        assert rules(findings) == ["err/silent-swallow"]
+
+    def test_handled_exception_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def safe(fn, log):
+                try:
+                    return fn()
+                except ValueError as error:
+                    log(error)
+                    return None
+            """,
+        )
+        assert findings == []
+
+
+class TestConcurrencyRule:
+    def make(self, tmp_path, body: str):
+        return lint_source(tmp_path, body, name="crawlers/engine.py")
+
+    def test_unlocked_shared_write_in_thread_target(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            import threading
+
+            def run(self, results):
+                def work():
+                    results.append(1)
+                    self.done = True
+                threading.Thread(target=work).start()
+            """,
+        )
+        assert rules(findings) == ["conc/unlocked-shared-write"] * 2
+
+    def test_lock_guard_accepted(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            import threading
+
+            def run(self, results, lock):
+                def work():
+                    with lock:
+                        results.append(1)
+                        self.done = True
+                threading.Thread(target=work).start()
+            """,
+        )
+        assert findings == []
+
+    def test_transitive_callee_is_scanned(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            import threading
+
+            def run(self, results):
+                def helper():
+                    results.append(1)
+
+                def work():
+                    helper()
+                threading.Thread(target=work).start()
+            """,
+        )
+        assert rules(findings) == ["conc/unlocked-shared-write"]
+
+    def test_local_state_is_fine(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            import threading
+
+            def run(self):
+                def work():
+                    batch = []
+                    batch.append(1)
+                    counts = {}
+                    counts["x"] = 1
+                threading.Thread(target=work).start()
+            """,
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_concurrency_files(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import threading
+
+            def run(self, results):
+                def work():
+                    results.append(1)
+                threading.Thread(target=work).start()
+            """,
+            name="other/module.py",
+        )
+        assert findings == []
+
+
+class TestSerializabilityRule:
+    def make(self, tmp_path, body: str):
+        return lint_source(tmp_path, body, name="ontology/intermediate.py")
+
+    def test_json_safe_fields_pass(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Record:
+                name: str
+                weight: float
+                pages: list[str] = field(default_factory=list)
+                meta: dict[str, object] = field(default_factory=dict)
+                pair: tuple[str, int] = ("", 0)
+                maybe: str | None = None
+            """,
+        )
+        assert findings == []
+
+    def test_unserializable_field_flagged(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Record:
+                name: str
+                seen: set[str]
+                blob: bytes = b""
+            """,
+        )
+        assert rules(findings) == ["ser/unserializable-field"] * 2
+
+    def test_non_str_dict_keys_flagged(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Record:
+                by_id: dict[int, str] = field(default_factory=dict)
+            """,
+        )
+        assert rules(findings) == ["ser/unserializable-field"]
+
+    def test_nested_dataclass_reference_allowed(self, tmp_path):
+        findings = self.make(
+            tmp_path,
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Inner:
+                value: str
+
+            @dataclass
+            class Outer:
+                items: list[Inner] = field(default_factory=list)
+            """,
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_same_line_suppression(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[det/wall-clock]
+            """,
+        )
+        assert findings == []
+
+    def test_line_above_and_leaf_rule(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                # repro: allow[wall-clock]
+                return time.time()
+            """,
+        )
+        assert findings == []
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[global-random]
+            """,
+        )
+        assert rules(findings) == ["det/wall-clock"]
+
+
+class TestBaseline:
+    def test_baseline_roundtrip_suppresses_known_findings(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        findings = lint_source(tmp_path, source)
+        assert len(findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        baseline = load_baseline(baseline_path)
+        assert apply_baseline(findings, baseline) == []
+
+    def test_new_finding_not_covered(self, tmp_path):
+        old = lint_source(tmp_path, "import time\n\ndef a():\n    return time.time()\n")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(old, baseline_path)
+        new = lint_source(
+            tmp_path,
+            "import time\n\ndef a():\n    return time.time()\n\n"
+            "def b():\n    return time.time_ns()\n",
+        )
+        fresh = apply_baseline(new, load_baseline(baseline_path))
+        assert len(fresh) == 1
+        assert "time_ns" in fresh[0].message
+
+    def test_count_aware_matching(self, tmp_path):
+        # two identical lines, baseline covers only one
+        source = (
+            "import time\n\ndef a():\n    return time.time()\n\n"
+            "def b():\n    return time.time()\n"
+        )
+        findings = lint_source(tmp_path, source)
+        assert len(findings) == 2
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings[:1], baseline_path)
+        entries = json.loads(baseline_path.read_text())
+        assert entries[0]["count"] == 1
+        remaining = apply_baseline(findings, load_baseline(baseline_path))
+        assert len(remaining) == 1
+
+
+class TestCLIEntry:
+    def run_lint(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_repo_is_clean_modulo_baseline(self):
+        code, output = self.run_lint()
+        assert code == 0, output
+        assert "0 findings" in output
+
+    def test_seeded_wall_clock_exits_nonzero(self, tmp_path):
+        # acceptance criterion: a new time.time() in a deterministic
+        # module makes the lint fail
+        bad = tmp_path / "seeded.py"
+        bad.write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        code, output = self.run_lint(str(bad))
+        assert code == 1
+        assert "det/wall-clock" in output
+        assert "seeded.py" in output
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        bad = tmp_path / "seeded.py"
+        bad.write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "base.json"
+        code, _ = self.run_lint(
+            str(bad), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert code == 0
+        code, output = self.run_lint(str(bad), "--baseline", str(baseline))
+        assert code == 0
+        assert "grandfathered" in output
+
+    def test_no_baseline_reports_grandfathered(self):
+        code, output = self.run_lint("--no-baseline")
+        assert code == 1
+        assert "det/wall-clock" in output
+
+    def test_module_subcommand(self):
+        from repro.cli import main as cli_main
+
+        out = io.StringIO()
+        code = cli_main(["lint"], out=out)
+        assert code == 0
+        assert "0 findings" in out.getvalue()
+
+
+class TestRepoInvariants:
+    """The linted tree itself, beyond the committed baseline."""
+
+    def test_baseline_only_contains_known_debt(self):
+        from repro.analysis.lint import DEFAULT_BASELINE
+
+        entries = json.loads(DEFAULT_BASELINE.read_text())
+        assert {entry["rule"] for entry in entries} <= {"det/wall-clock"}
+
+    def test_src_lint_matches_baseline_exactly(self):
+        from repro.analysis.lint import DEFAULT_BASELINE, DEFAULT_ROOT
+
+        findings = lint_paths([DEFAULT_ROOT])
+        remaining = apply_baseline(findings, load_baseline(DEFAULT_BASELINE))
+        assert remaining == [], [f.format() for f in remaining]
