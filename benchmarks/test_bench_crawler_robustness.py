@@ -7,8 +7,13 @@ periodic and *incremental*.
 
 Reproduction: crawl all sources with 15% injected transport failures
 (retries must recover everything), crash a crawler job and watch the
-scheduler reboot it, and re-crawl to confirm incremental no-op.
+scheduler reboot it, and re-crawl to confirm incremental no-op.  The
+whole experiment runs under a :class:`~repro.runtime.VirtualClock`
+with realistic latency (``time_scale=1.0``): retry backoff and
+politeness delays are simulated exactly but cost no wall time.
 """
+
+import time
 
 from conftest import record_result
 
@@ -21,15 +26,19 @@ from repro.crawlers import (
     PeriodicScheduler,
     build_all_crawlers,
 )
+from repro.runtime import VirtualClock
 from repro.websim import SimulatedTransport, build_default_web
 
 
 def test_bench_robust_crawl(benchmark):
     web = build_default_web(scenario_count=15, reports_per_site=3)
+    bench_started = time.perf_counter()
 
     def robust_crawl():
-        transport = SimulatedTransport(web, time_scale=0.0, failure_rate=0.15)
-        fetcher = Fetcher(transport, max_retries=4, backoff=0.001)
+        transport = SimulatedTransport(
+            web, time_scale=1.0, failure_rate=0.15, clock=VirtualClock()
+        )
+        fetcher = Fetcher(transport, max_retries=4, backoff=0.05)
         engine = CrawlEngine(build_all_crawlers(), fetcher, num_threads=8)
         return engine.crawl(), fetcher
 
@@ -40,19 +49,20 @@ def test_bench_robust_crawl(benchmark):
     state = CrawlState()
     first = CrawlEngine(
         build_all_crawlers(),
-        Fetcher(SimulatedTransport(web, time_scale=0.0)),
+        Fetcher(SimulatedTransport(web, time_scale=1.0, clock=VirtualClock())),
         num_threads=8,
         state=state,
     ).crawl()
     second = CrawlEngine(
         build_all_crawlers(),
-        Fetcher(SimulatedTransport(web, time_scale=0.0)),
+        Fetcher(SimulatedTransport(web, time_scale=1.0, clock=VirtualClock())),
         num_threads=8,
         state=state,
     ).crawl()
 
-    # scheduler reboots a crashing job
+    # scheduler reboots a crashing job, backing off on virtual time
     crashes = {"left": 2}
+    scheduler_clock = VirtualClock()
 
     def flaky_job():
         if crashes["left"] > 0:
@@ -61,9 +71,11 @@ def test_bench_robust_crawl(benchmark):
         return "ok"
 
     scheduler = PeriodicScheduler(
-        [JobSpec("flaky-crawler", flaky_job, max_restarts=3, backoff=0.0)]
+        [JobSpec("flaky-crawler", flaky_job, max_restarts=3, backoff=0.5)],
+        clock=scheduler_clock,
     )
     outcomes = scheduler.run_cycles(1)
+    wall_s = time.perf_counter() - bench_started
 
     print("\nE2: crawler coverage and robustness")
     print(f"  registered crawlers: {len(CRAWLER_REGISTRY)} (paper: 40+)")
@@ -79,7 +91,12 @@ def test_bench_robust_crawl(benchmark):
     )
     print(
         f"  scheduler reboot-after-failure: job crashed twice, outcome "
-        f"{outcomes[0].status!r} after {outcomes[0].attempts} attempts"
+        f"{outcomes[0].status!r} after {outcomes[0].attempts} attempts, "
+        f"{scheduler_clock.now():.1f}s of virtual backoff"
+    )
+    print(
+        f"  wall time: {wall_s:.2f}s for {result.elapsed:.1f}s of "
+        "simulated crawling (virtual clock)"
     )
 
     record_result(
@@ -91,9 +108,15 @@ def test_bench_robust_crawl(benchmark):
             "retries": stats["retries"],
             "incremental_second_crawl": second.article_count,
             "reboot_outcome": outcomes[0].status,
+            "virtual_backoff_s": round(scheduler_clock.now(), 2),
+            "wall_s": round(wall_s, 2),
         },
     )
     assert len(CRAWLER_REGISTRY) >= 40
     assert result.article_count == web.total_reports
     assert second.article_count == 0
     assert outcomes[0].status == "rebooted"
+    # exact virtual backoff: two reboots at 0.5s and 1.0s
+    assert scheduler_clock.now() == 1.5
+    # wall-time budget: the simulated seconds must not be slept for real
+    assert wall_s < 20.0, f"virtual-clock robustness run burned {wall_s:.1f}s"

@@ -8,16 +8,24 @@ latency (the sites are configured with 20-220 ms response times,
 comparable to real web endpoints) and sweep the worker-thread count.
 The expected shape: throughput scales with threads until latency is
 fully overlapped, and the multi-threaded figure clears 350 reports/min.
+
+The sweep runs under a :class:`~repro.runtime.VirtualClock`: the same
+latency profile is *simulated* instead of slept, so the whole series
+costs milliseconds of wall time.  One real-clock anchor point (4
+threads) validates that the virtual series matches reality within 10%.
 """
+
+import time
 
 from conftest import record_result
 
 from repro.crawlers import CrawlEngine, Fetcher, build_all_crawlers
+from repro.runtime import VirtualClock
 from repro.websim import SimulatedTransport, build_default_web
 
 
-def crawl_with_threads(web, threads: int):
-    transport = SimulatedTransport(web, time_scale=1.0)
+def crawl_with_threads(web, threads: int, clock=None):
+    transport = SimulatedTransport(web, time_scale=1.0, clock=clock)
     engine = CrawlEngine(
         build_all_crawlers(),
         Fetcher(transport),
@@ -29,9 +37,11 @@ def crawl_with_threads(web, threads: int):
 def test_bench_throughput_sweep(benchmark):
     """Reports/minute vs worker threads (the paper's deployment knob)."""
     web = build_default_web(scenario_count=20, reports_per_site=2)
+
+    sweep_started = time.perf_counter()
     series = []
     for threads in (1, 2, 4, 8, 16):
-        result = crawl_with_threads(web, threads)
+        result = crawl_with_threads(web, threads, clock=VirtualClock())
         assert result.article_count == web.total_reports
         series.append(
             {
@@ -40,12 +50,31 @@ def test_bench_throughput_sweep(benchmark):
                 "elapsed_s": round(result.elapsed, 2),
             }
         )
+    sweep_wall_s = time.perf_counter() - sweep_started
+
+    # real-clock anchor: the virtual series must match reality
+    anchor_started = time.perf_counter()
+    anchor = crawl_with_threads(web, 4)
+    anchor_wall_s = time.perf_counter() - anchor_started
+    virtual_4 = next(r for r in series if r["threads"] == 4)
+    anchor_delta = (
+        virtual_4["reports_per_minute"] / anchor.reports_per_minute - 1.0
+    )
 
     # benchmark the deployed configuration (16 threads) for the record
     outcome = benchmark.pedantic(
-        crawl_with_threads, args=(web, 16), rounds=1, iterations=1
+        crawl_with_threads,
+        args=(web, 16),
+        kwargs={"clock": VirtualClock()},
+        rounds=1,
+        iterations=1,
     )
     deployed = outcome.reports_per_minute
+
+    # what the sweep would have cost on the real clock: the simulated
+    # seconds it reported (the anchor shows they track reality)
+    simulated_sweep_s = sum(row["elapsed_s"] for row in series)
+    speedup = simulated_sweep_s / max(sweep_wall_s, 1e-9)
 
     print("\nE1: crawler throughput (42 sources, simulated web latency)")
     print(f"  {'threads':>8} {'reports/min':>12} {'elapsed (s)':>12}")
@@ -55,7 +84,16 @@ def test_bench_throughput_sweep(benchmark):
             f"{row['elapsed_s']:>12}"
         )
     print(f"  paper claim: ~350+ reports/min single host (multi-threaded)")
-    print(f"  measured (16 threads): {deployed:.0f} reports/min")
+    print(f"  measured (16 threads, virtual): {deployed:.0f} reports/min")
+    print(
+        f"  real-clock anchor (4 threads): {anchor.reports_per_minute:.0f} "
+        f"reports/min vs virtual {virtual_4['reports_per_minute']:.0f} "
+        f"({anchor_delta * 100:+.1f}%)"
+    )
+    print(
+        f"  sweep wall time: {sweep_wall_s:.2f}s for "
+        f"{simulated_sweep_s:.1f} simulated seconds ({speedup:.0f}x)"
+    )
 
     record_result(
         "E1",
@@ -63,7 +101,27 @@ def test_bench_throughput_sweep(benchmark):
             "claim": "350+ reports/min, single host, multi-threaded",
             "series": series,
             "deployed_reports_per_minute": round(deployed, 1),
+            "anchor_threads": 4,
+            "anchor_reports_per_minute": round(anchor.reports_per_minute, 1),
+            "anchor_delta_pct": round(anchor_delta * 100, 1),
+            "sweep_wall_s": round(sweep_wall_s, 2),
+            "anchor_wall_s": round(anchor_wall_s, 2),
+            "simulated_sweep_s": round(simulated_sweep_s, 1),
         },
     )
     assert deployed > 350, "multi-threaded crawl should clear the paper's figure"
-    assert series[-1]["reports_per_minute"] > series[0]["reports_per_minute"] * 4
+    # same series shape as a real-clock run: monotone in threads ...
+    rpm = [row["reports_per_minute"] for row in series]
+    assert rpm == sorted(rpm)
+    assert rpm[-1] > rpm[0] * 4
+    # ... and within 10% of reality at the anchor point
+    assert abs(anchor_delta) <= 0.10, (
+        f"virtual series diverges {anchor_delta * 100:+.1f}% from the "
+        "real-clock anchor"
+    )
+    # the virtual sweep must be at least 5x cheaper than sleeping it
+    assert speedup >= 5.0, (
+        f"virtual sweep only {speedup:.1f}x faster than simulated seconds"
+    )
+    # hard wall-time budget: accidental real sleeping fails fast
+    assert sweep_wall_s < 20.0, f"virtual sweep burned {sweep_wall_s:.1f}s of wall time"

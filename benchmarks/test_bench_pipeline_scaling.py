@@ -17,14 +17,18 @@ from repro.core import Checker, Extractor, ParserDispatch, Porter
 from repro.core.pipeline import Codec, Pipeline, Stage
 from repro.crawlers import CrawlEngine, Fetcher, build_all_crawlers
 from repro.ontology import CTIRecord, ReportRecord
+from repro.runtime import VirtualClock
 from repro.websim import SimulatedTransport, build_default_web
 
 
 def build_reports():
+    # The input batch comes from a virtual-clock crawl (instant wall
+    # time); the pipeline sweep below measures real CPU throughput, so
+    # it stays on the real clock.
     web = build_default_web(scenario_count=15, reports_per_site=4)
     engine = CrawlEngine(
         build_all_crawlers(),
-        Fetcher(SimulatedTransport(web, time_scale=0.0)),
+        Fetcher(SimulatedTransport(web, time_scale=1.0, clock=VirtualClock())),
         num_threads=8,
     )
     return Porter().port(engine.crawl().documents)

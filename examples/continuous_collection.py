@@ -5,7 +5,9 @@ ingesting new data" with a crawler framework that handles "periodic
 execution and reboot after failure".  This example runs several
 scheduled collection cycles against a web whose sites keep publishing,
 with transport failures injected, and tracks how the knowledge graph
-grows.
+grows.  The crawls simulate realistic page latency on the system's
+virtual clock (``clock="virtual"``): the printed crawl seconds are
+what a real deployment would spend, but the example runs instantly.
 
 Run:  python examples/continuous_collection.py
 """
@@ -24,6 +26,8 @@ def main() -> None:
         scenario_count=12,
         reports_per_site=3,
         failure_rate=0.15,  # transient 5xx / resets; the fetcher retries
+        time_scale=1.0,  # realistic 20-220ms page latency ...
+        clock="virtual",  # ... simulated instantly on the virtual clock
         connectors=["graph", "search"],
     )
     kg = SecurityKG(config)

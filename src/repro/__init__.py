@@ -17,6 +17,9 @@ knowledge fusion, and a Barnes-Hut layout engine behind a headless UI.
 
 Subpackages
 -----------
+runtime
+    Injected clock (real or virtual discrete-event time), stopwatch,
+    retry/backoff policies.
 ontology
     Entity/relation vocabulary, intermediate report and CTI
     representations, ontology validation.

@@ -12,8 +12,13 @@ concurrency invariants the deterministic-replay pipeline depends on
 ``det/wall-clock``
     ``time.time()`` / ``time.time_ns()`` / ``datetime.now()`` /
     ``datetime.utcnow()`` / ``date.today()`` reads.  Wall-clock reads make
-    replays diverge; ``time.monotonic`` / ``perf_counter`` / ``sleep``
-    are allowed (they never enter recorded state).
+    replays diverge; timestamps must come from the injected
+    :class:`repro.runtime.Clock`.
+``det/raw-sleep``
+    Direct ``time.sleep()`` / ``time.monotonic()`` calls outside
+    ``repro/runtime/clock.py`` (the clock implementations themselves).
+    Sleeping or measuring elapsed time must go through the injected
+    clock, or virtual-time runs silently burn real seconds.
 ``conc/unlocked-shared-write``
     In the threaded sections of ``crawlers/engine.py`` and
     ``core/pipeline.py``: a write to shared mutable state (attribute or
@@ -54,8 +59,10 @@ DEFAULT_ROOT = Path(__file__).resolve().parents[1]
 #: Committed baseline of grandfathered findings.
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 
-#: Modules allowed to touch global randomness / simulated clocks.
-SANCTIONED_SUFFIXES = ("websim/rnd.py", "websim/network.py")
+#: Modules allowed to touch global randomness / wall clocks.
+SANCTIONED_SUFFIXES = ("websim/rnd.py",)
+#: The clock implementations: the one sanctioned home of raw sleeps.
+RAW_SLEEP_SANCTIONED = ("runtime/clock.py",)
 #: Files whose threaded sections the concurrency rule covers.
 CONCURRENCY_SUFFIXES = ("crawlers/engine.py", "core/pipeline.py")
 #: Files whose dataclasses must stay JSON-serialisable (pipeline hand-offs).
@@ -65,6 +72,7 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
 
 _WALL_CLOCK_TIME = frozenset({"time", "time_ns"})
 _WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+_RAW_SLEEP_TIME = frozenset({"sleep", "monotonic"})
 # List/dict mutators only: set-style names ("add", "discard") collide
 # with internally synchronised domain APIs (Frontier.add, Queue.put).
 _MUTATOR_METHODS = frozenset(
@@ -110,6 +118,8 @@ class _FileLint:
         except ValueError:  # different drive on windows
             self.display = str(path)
         self.findings: list[Diagnostic] = []
+        self._flag_det = True
+        self._flag_raw_sleep = True
 
     def add(self, rule: str, message: str, node: ast.AST) -> None:
         lineno = getattr(node, "lineno", 0)
@@ -141,7 +151,11 @@ class _FileLint:
                 )
             )
             return self.findings
-        if not _has_suffix(self.path, SANCTIONED_SUFFIXES):
+        self._flag_det = not _has_suffix(self.path, SANCTIONED_SUFFIXES)
+        self._flag_raw_sleep = not _has_suffix(
+            self.path, RAW_SLEEP_SANCTIONED
+        )
+        if self._flag_det or self._flag_raw_sleep:
             self._check_determinism(tree)
         self._check_exception_handling(tree)
         if _has_suffix(self.path, CONCURRENCY_SUFFIXES):
@@ -195,6 +209,8 @@ class _FileLint:
                 self._flag_global_random(node, f"random.{name}")
             elif module == "time" and name in _WALL_CLOCK_TIME:
                 self._flag_wall_clock(node, f"time.{name}")
+            elif module == "time" and name in _RAW_SLEEP_TIME:
+                self._flag_raw_sleep_call(node, f"time.{name}")
             return
         if not isinstance(func, ast.Attribute):
             return
@@ -206,6 +222,9 @@ class _FileLint:
                 return
             if module == "time" and func.attr in _WALL_CLOCK_TIME:
                 self._flag_wall_clock(node, f"time.{func.attr}")
+                return
+            if module == "time" and func.attr in _RAW_SLEEP_TIME:
+                self._flag_raw_sleep_call(node, f"time.{func.attr}")
                 return
             # from datetime import datetime/date; datetime.now()
             origin = from_imports.get(base.id)
@@ -228,6 +247,8 @@ class _FileLint:
             self._flag_wall_clock(node, f"datetime.{base.attr}.{func.attr}")
 
     def _flag_global_random(self, node: ast.Call, what: str) -> None:
+        if not self._flag_det:
+            return
         self.add(
             "det/global-random",
             f"{what}() uses the shared global RNG; derive a seeded "
@@ -236,11 +257,24 @@ class _FileLint:
         )
 
     def _flag_wall_clock(self, node: ast.Call, what: str) -> None:
+        if not self._flag_det:
+            return
         self.add(
             "det/wall-clock",
             f"{what}() reads the wall clock, which breaks deterministic "
             "replay; thread a timestamp in from the caller or use the "
-            "simulated clock",
+            "injected repro.runtime clock",
+            node,
+        )
+
+    def _flag_raw_sleep_call(self, node: ast.Call, what: str) -> None:
+        if not self._flag_raw_sleep:
+            return
+        self.add(
+            "det/raw-sleep",
+            f"{what}() bypasses the injected repro.runtime clock; sleep "
+            "and measure elapsed time through a Clock so virtual-time "
+            "runs stay instant",
             node,
         )
 

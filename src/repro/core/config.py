@@ -51,6 +51,10 @@ class SystemConfig:
         JSON file for incremental-crawl state (``None`` = in-memory).
     checker_min_chars:
         Minimum rendered-text length accepted by the checker.
+    clock:
+        ``"real"`` (wall time; the deployment default) or ``"virtual"``
+        (discrete-event time: crawls replay simulated latency instantly
+        and deterministically -- the benchmark/test mode).
     """
 
     sources: list[str] | None = None
@@ -72,6 +76,7 @@ class SystemConfig:
     crawl_state_path: str | None = None
     checker_min_chars: int = 120
     max_articles: int | None = None
+    clock: str = "real"
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True)

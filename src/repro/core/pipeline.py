@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.runtime import REAL_CLOCK, Clock, Stopwatch
 
 #: A stage function maps one item to one item, or None to filter it out.
 StageFn = Callable[[object], "object | None"]
@@ -89,13 +90,24 @@ _SENTINEL = object()
 
 
 class Pipeline:
-    """Run items through a chain of parallel stages."""
+    """Run items through a chain of parallel stages.
 
-    def __init__(self, stages: list[Stage], queue_size: int = 128):
+    Stage workers never sleep, so they are not registered with the
+    clock; under a virtual clock all timings read as ~0 (the stages are
+    CPU-bound, and virtual time only models waiting).
+    """
+
+    def __init__(
+        self,
+        stages: list[Stage],
+        queue_size: int = 128,
+        clock: Clock | None = None,
+    ):
         if not stages:
             raise ValueError("pipeline needs at least one stage")
         self.stages = list(stages)
         self.queue_size = queue_size
+        self.clock = clock if clock is not None else REAL_CLOCK
 
     def run(self, items: list[object]) -> PipelineResult:
         """Process ``items``; blocks until every stage drains."""
@@ -107,7 +119,7 @@ class Pipeline:
         errors: list[tuple[str, str]] = []
         errors_lock = threading.Lock()
         threads: list[threading.Thread] = []
-        started = time.monotonic()
+        watch = Stopwatch(self.clock)
 
         for index, stage in enumerate(self.stages):
             exited = [0]
@@ -135,7 +147,7 @@ class Pipeline:
                         if last:
                             out_queue.put(_SENTINEL)
                         return
-                    begin = time.monotonic()
+                    begin = self.clock.now()
                     try:
                         if decoder is not None:
                             item = decoder.decode(item)
@@ -144,12 +156,12 @@ class Pipeline:
                             result = stage.codec.encode(result)
                     except Exception as error:  # noqa: BLE001 - stage isolation
                         stage_stats.record(
-                            time.monotonic() - begin, filtered=False, error=True
+                            self.clock.now() - begin, filtered=False, error=True
                         )
                         with errors_lock:
                             errors.append((stage.name, f"{type(error).__name__}: {error}"))
                         continue
-                    elapsed = time.monotonic() - begin
+                    elapsed = self.clock.now() - begin
                     if result is None:
                         stage_stats.record(elapsed, filtered=True, error=False)
                     else:
@@ -195,7 +207,7 @@ class Pipeline:
         return PipelineResult(
             outputs=outputs,
             stages=stats,
-            elapsed=time.monotonic() - started,
+            elapsed=watch.elapsed,
             errors=errors,
         )
 

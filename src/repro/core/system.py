@@ -39,6 +39,7 @@ from repro.graphdb.cypher.executor import CypherEngine, ResultRow
 from repro.graphdb.wal import GraphDatabase
 from repro.nlp.baselines import GazetteerRecognizer, RegexRecognizer
 from repro.ontology.intermediate import CTIRecord, ReportRecord
+from repro.runtime import Clock, clock_from_name
 from repro.search.index import SearchHit
 from repro.websim.network import SimulatedTransport
 from repro.websim.scenario import generate_report_content, make_scenarios
@@ -95,6 +96,10 @@ class SecurityKG:
         transport behind it) can be injected.
     recognizer:
         Pre-built entity recogniser; overrides ``config.recognizer``.
+    clock:
+        Pre-built runtime clock; overrides ``config.clock``.  One clock
+        flows to the transport, crawl engine and pipeline so the whole
+        deployment shares a single notion of time.
     """
 
     def __init__(
@@ -102,8 +107,12 @@ class SecurityKG:
         config: SystemConfig | None = None,
         web: Web | None = None,
         recognizer=None,
+        clock: Clock | None = None,
     ):
         self.config = config or SystemConfig()
+        self.clock = (
+            clock if clock is not None else clock_from_name(self.config.clock)
+        )
         self.web = web or build_default_web(
             scenario_count=self.config.scenario_count,
             reports_per_site=self.config.reports_per_site,
@@ -113,6 +122,7 @@ class SecurityKG:
             self.web,
             failure_rate=self.config.failure_rate,
             time_scale=self.config.time_scale,
+            clock=self.clock,
         )
         self.state = CrawlState(self.config.crawl_state_path)
         self.porter = Porter()
@@ -198,6 +208,7 @@ class SecurityKG:
             num_threads=self.config.crawl_threads,
             state=self.state,
             max_articles=max_articles or self.config.max_articles,
+            clock=self.clock,
         )
         return engine.crawl()
 
@@ -231,7 +242,8 @@ class SecurityKG:
                     workers=self.config.extract_workers,
                     codec=cti_codec,
                 ),
-            ]
+            ],
+            clock=self.clock,
         )
         result = pipeline.run(reports)
         return list(result.outputs), result

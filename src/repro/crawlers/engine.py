@@ -15,7 +15,6 @@ series.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 
 from repro.crawlers.base import Crawler, RawDocument
@@ -23,6 +22,7 @@ from repro.crawlers.fetcher import FetchDenied, FetchFailed, Fetcher
 from repro.crawlers.frontier import Frontier
 from repro.crawlers.state import CrawlState
 from repro.htmlparse import parse
+from repro.runtime import REAL_CLOCK, Clock, Stopwatch
 
 
 @dataclass
@@ -63,6 +63,10 @@ class CrawlEngine:
         re-emitted, and newly emitted ones are recorded.
     max_articles:
         Optional cap for bounded benchmark runs.
+    clock:
+        Clock for elapsed/timestamp measurement and worker
+        coordination.  Defaults to the fetcher's clock, so one virtual
+        clock injected at the transport virtualises the whole crawl.
     """
 
     def __init__(
@@ -72,12 +76,18 @@ class CrawlEngine:
         num_threads: int = 8,
         state: CrawlState | None = None,
         max_articles: int | None = None,
+        clock: Clock | None = None,
     ):
         self.crawlers = list(crawlers)
         self.fetcher = fetcher
         self.num_threads = num_threads
         self.state = state
         self.max_articles = max_articles
+        self.clock = (
+            clock
+            if clock is not None
+            else getattr(fetcher, "clock", None) or REAL_CLOCK
+        )
         self._by_host = {crawler.host: crawler for crawler in self.crawlers}
         self._result_lock = threading.Lock()
 
@@ -86,7 +96,7 @@ class CrawlEngine:
 
     def crawl(self) -> CrawlResult:
         """Run until the frontier drains (or ``max_articles`` reached)."""
-        frontier = Frontier()
+        frontier = Frontier(clock=self.clock)
         result = CrawlResult()
         stop = threading.Event()
         for crawler in self.crawlers:
@@ -111,17 +121,24 @@ class CrawlEngine:
                 )
             return True, not full
 
-        def work() -> None:
-            while not stop.is_set():
-                url = frontier.take(timeout=5.0)
-                if url is None:
-                    return
-                try:
-                    self._process(url, frontier, result, emit, stop)
-                finally:
-                    frontier.task_done()
+        # All workers must be registered with the clock before any of
+        # them starts fetching, or an early worker could advance
+        # virtual time while a late one is still starting up.
+        ready = threading.Barrier(self.num_threads)
 
-        started = time.monotonic()
+        def work() -> None:
+            with self.clock.worker():
+                ready.wait()
+                while not stop.is_set():
+                    url = frontier.take()
+                    if url is None:
+                        return
+                    try:
+                        self._process(url, frontier, result, emit, stop)
+                    finally:
+                        frontier.task_done()
+
+        watch = Stopwatch(self.clock)
         threads = [
             threading.Thread(target=work, name=f"crawl-{i}", daemon=True)
             for i in range(self.num_threads)
@@ -131,9 +148,15 @@ class CrawlEngine:
         for thread in threads:
             thread.join()
         frontier.close()
-        result.elapsed = time.monotonic() - started
+        result.elapsed = watch.elapsed
+        # Workers append in completion order, which races at identical
+        # virtual instants; a canonical sort keeps virtual-clock crawls
+        # byte-for-byte reproducible.
+        result.documents.sort(key=lambda doc: (doc.fetched_at, doc.url))
+        result.errors.sort()
+        result.denied.sort()
         if self.state is not None:
-            now = time.time()
+            now = self.clock.now()
             for crawler in self.crawlers:
                 self.state.record_crawl(crawler.site_name, now)
             self.state.save()
@@ -188,7 +211,7 @@ class CrawlEngine:
                     url=url,
                     source=crawler.site_name,
                     html=response.body,
-                    fetched_at=time.time(),
+                    fetched_at=self.clock.now(),
                     group_url=group,
                     page_no=page_no,
                 )

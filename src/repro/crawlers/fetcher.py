@@ -3,18 +3,20 @@
 The :class:`Fetcher` is the single choke point between the crawl engine
 and the transport.  It caches per-host robots policies, applies the
 rate limiter, retries transient failures (connection errors and 5xx)
-with exponential backoff, and keeps counters the robustness benchmark
-(E2) reports.
+through a shared :class:`~repro.runtime.RetryPolicy`, and keeps
+counters the robustness benchmark (E2) reports.  Backoff sleeps go
+through the transport's clock, so retry storms replay instantly under
+virtual time.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 
 from repro.crawlers.ratelimit import HostRateLimiter
 from repro.crawlers.robots import RobotsPolicy, path_of
+from repro.runtime import REAL_CLOCK, Backoff, Clock, RetryPolicy
 from repro.websim.network import Response, SimulatedTransport, TransportError
 
 
@@ -66,9 +68,16 @@ class Fetcher:
         Additional attempts after the first failure.
     backoff:
         Base backoff in seconds; attempt *k* sleeps ``backoff * 2**k``.
+    retry:
+        Full retry policy; overrides ``max_retries``/``backoff`` when
+        given.
     respect_robots:
         When true, robots.txt is fetched once per host and consulted
         for every URL.
+    clock:
+        Clock for backoff sleeps and politeness waits.  Defaults to the
+        transport's clock, so injecting a virtual clock into the
+        transport is enough to virtualise the whole fetch path.
     """
 
     def __init__(
@@ -77,20 +86,28 @@ class Fetcher:
         rate_limiter: HostRateLimiter | None = None,
         max_retries: int = 3,
         backoff: float = 0.01,
+        retry: RetryPolicy | None = None,
         respect_robots: bool = True,
         agent: str = "securitykg",
-        sleep=time.sleep,
+        clock: Clock | None = None,
     ):
         self.transport = transport
-        self.rate_limiter = rate_limiter or HostRateLimiter()
-        self.max_retries = max_retries
-        self.backoff = backoff
+        if clock is None:
+            clock = getattr(transport, "clock", None) or REAL_CLOCK
+        self.clock = clock
+        self.rate_limiter = rate_limiter or HostRateLimiter(clock=self.clock)
+        self.retry = retry or RetryPolicy(
+            max_retries=max_retries, backoff=Backoff(base=backoff)
+        )
         self.respect_robots = respect_robots
         self.agent = agent
         self.stats = FetchStats()
-        self._sleep = sleep
         self._robots: dict[str, RobotsPolicy] = {}
         self._robots_lock = threading.Lock()
+
+    @property
+    def max_retries(self) -> int:
+        return self.retry.max_retries
 
     @staticmethod
     def host_of(url: str) -> str:
@@ -133,10 +150,9 @@ class Fetcher:
                 raise FetchDenied(url)
 
         last_error: Exception | None = None
-        for attempt in range(self.max_retries + 1):
+        for attempt in self.retry.attempts(self.clock):
             if attempt:
                 self.stats.bump(retries=1)
-                self._sleep(self.backoff * (2 ** (attempt - 1)))
             self.rate_limiter.acquire(host)
             self.stats.bump(attempts=1)
             try:

@@ -3,7 +3,9 @@
 Deduplicates URLs for the lifetime of the frontier, supports priority
 levels (continuation pages jump the queue so multi-page reports finish
 promptly) and provides a blocking ``take`` with in-flight accounting so
-worker threads can detect global completion without busy-waiting.
+worker threads can detect global completion without busy-waiting or
+polling timeouts: ``task_done`` and ``close`` wake every waiter the
+moment the crawl is finished.
 """
 
 from __future__ import annotations
@@ -11,17 +13,22 @@ from __future__ import annotations
 import collections
 import threading
 
+from repro.runtime import REAL_CLOCK, Clock
+
 
 class Frontier:
     """Thread-safe deduplicating URL queue with two priority bands."""
 
-    def __init__(self):
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock if clock is not None else REAL_CLOCK
         self._high: collections.deque[str] = collections.deque()
         self._normal: collections.deque[str] = collections.deque()
         self._seen: set[str] = set()
         self._in_flight = 0
         self._lock = threading.Lock()
-        self._available = threading.Condition(self._lock)
+        # clock-aware condition: waiting workers don't hold up virtual
+        # time, and a notified worker counts as runnable immediately
+        self._available = self._clock.condition(self._lock)
         self._closed = False
 
     def add(self, url: str, priority: bool = False) -> bool:
@@ -47,7 +54,9 @@ class Frontier:
         """Block until a URL is available or the crawl is finished.
 
         Returns ``None`` when the frontier is drained *and* no worker is
-        mid-task (so no new URLs can appear), or on timeout/close.
+        mid-task (so no new URLs can appear), or on close/timeout.  The
+        drain/close wakeups make a timeout unnecessary for the engine;
+        it remains available for callers that want a bounded wait.
         """
         with self._lock:
             while True:

@@ -6,15 +6,18 @@ after failure for different crawlers in an efficient and robust manner"
 jobs; each cycle it runs every job, catches crashes, and reboots the
 crashed job with exponential backoff up to a restart budget.  Jobs are
 plain callables, so the same scheduler drives crawls in tests,
-benchmarks and the end-to-end system.
+benchmarks and the end-to-end system.  Intervals and backoff are slept
+on the injected :class:`~repro.runtime.Clock`, so long periodic runs
+replay in milliseconds under virtual time with exact timestamps.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.runtime import REAL_CLOCK, Backoff, Clock, Stopwatch
 
 
 @dataclass
@@ -54,15 +57,21 @@ class SchedulerStats:
 class PeriodicScheduler:
     """Run jobs periodically, rebooting crashed jobs with backoff."""
 
-    def __init__(self, jobs: list[JobSpec], interval: float = 0.0, sleep=time.sleep):
+    def __init__(
+        self,
+        jobs: list[JobSpec],
+        interval: float = 0.0,
+        clock: Clock | None = None,
+    ):
         self.jobs = list(jobs)
         self.interval = interval
         self.stats = SchedulerStats()
-        self._sleep = sleep
+        self.clock = clock if clock is not None else REAL_CLOCK
         self._stop = threading.Event()
 
     def _execute(self, job: JobSpec, cycle: int) -> JobOutcome:
-        started = time.monotonic()
+        watch = Stopwatch(self.clock)
+        schedule = Backoff(base=job.backoff)
         attempts = 0
         last_error = ""
         while attempts <= job.max_restarts:
@@ -73,7 +82,7 @@ class PeriodicScheduler:
                 last_error = f"{type(error).__name__}: {error}"
                 if attempts <= job.max_restarts:
                     self.stats.reboots += 1
-                    self._sleep(job.backoff * (2 ** (attempts - 1)))
+                    self.clock.sleep(schedule.delay(attempts - 1))
                 continue
             status = "ok" if attempts == 1 else "rebooted"
             return JobOutcome(
@@ -81,7 +90,7 @@ class PeriodicScheduler:
                 cycle=cycle,
                 status=status,
                 attempts=attempts,
-                elapsed=time.monotonic() - started,
+                elapsed=watch.elapsed,
                 value=value,
             )
         self.stats.failures += 1
@@ -90,7 +99,7 @@ class PeriodicScheduler:
             cycle=cycle,
             status="failed",
             attempts=attempts,
-            elapsed=time.monotonic() - started,
+            elapsed=watch.elapsed,
             error=last_error,
         )
 
@@ -106,7 +115,7 @@ class PeriodicScheduler:
                 self.stats.runs += 1
             self.stats.cycles += 1
             if self.interval and cycle + 1 < cycles:
-                self._sleep(self.interval)
+                self.clock.sleep(self.interval)
         self.stats.outcomes.extend(outcomes)
         return outcomes
 
@@ -115,21 +124,29 @@ class PeriodicScheduler:
 
         This is the deployment mode: jobs with different latencies do
         not block each other.  Returns outcomes observed within
-        ``duration`` seconds.
+        ``duration`` seconds.  All threads (including the supervising
+        one) register with the clock, so under a virtual clock the
+        whole window replays instantly and deterministically.
         """
         outcomes: list[JobOutcome] = []
         lock = threading.Lock()
+        # Every job thread plus the supervisor must be registered with
+        # the clock before anyone sleeps, or virtual time could burn
+        # the whole duration while a thread is still starting up.
+        ready = threading.Barrier(len(self.jobs) + 1)
 
         def loop(job: JobSpec) -> None:
-            cycle = 0
-            while not self._stop.is_set():
-                outcome = self._execute(job, cycle)
-                with lock:
-                    outcomes.append(outcome)
-                    self.stats.runs += 1
-                cycle += 1
-                if self._stop.wait(self.interval):
-                    return
+            with self.clock.worker():
+                ready.wait()
+                cycle = 0
+                while not self._stop.is_set():
+                    outcome = self._execute(job, cycle)
+                    with lock:
+                        outcomes.append(outcome)
+                        self.stats.runs += 1
+                    cycle += 1
+                    if self.clock.wait_for(self._stop, self.interval):
+                        return
 
         threads = [
             threading.Thread(target=loop, args=(job,), daemon=True)
@@ -137,8 +154,10 @@ class PeriodicScheduler:
         ]
         for thread in threads:
             thread.start()
-        time.sleep(duration)
-        self._stop.set()
+        with self.clock.worker():
+            ready.wait()
+            self.clock.sleep(duration)
+            self._stop.set()
         for thread in threads:
             thread.join(timeout=10.0)
         with lock:

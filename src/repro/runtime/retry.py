@@ -1,0 +1,54 @@
+"""Shared retry/backoff helpers.
+
+The fetcher and the scheduler both reboot failed work with exponential
+backoff; these small value objects keep the arithmetic (and its tests)
+in one place, and route every delay through the injected clock so
+retries cost nothing under virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.runtime.clock import Clock
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Exponential backoff schedule: ``base * factor ** attempt``."""
+
+    base: float = 0.01
+    factor: float = 2.0
+    max_delay: float | None = None
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based: first retry = base)."""
+        value = self.base * (self.factor ** attempt)
+        if self.max_delay is not None:
+            value = min(value, self.max_delay)
+        return value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, and how long to wait in between."""
+
+    max_retries: int = 3
+    backoff: Backoff = field(default_factory=Backoff)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def attempts(self, clock: Clock) -> Iterator[int]:
+        """Yield attempt indices ``0..max_retries``, sleeping the
+        backoff on the clock before every retry (never before the
+        first attempt)."""
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                clock.sleep(self.backoff.delay(attempt - 1))
+            yield attempt
+
+
+__all__ = ["Backoff", "RetryPolicy"]

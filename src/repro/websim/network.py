@@ -2,9 +2,11 @@
 
 Gives the crawler framework a network with realistic misbehaviour:
 per-site latency, jitter, transient 5xx failures and timeouts, plus
-per-host request accounting.  Latency is wall-clock (``time.sleep``)
-scaled by ``time_scale`` so throughput benchmarks (E1) measure real
-concurrency effects while unit tests can set the scale to zero.
+per-host request accounting.  Latency is slept on the injected
+:class:`~repro.runtime.Clock` scaled by ``time_scale`` -- under the
+real clock throughput benchmarks (E1) measure real concurrency
+effects; under a :class:`~repro.runtime.VirtualClock` the same
+latency profile replays in milliseconds of wall time.
 
 Failure injection is deterministic: whether fetch attempt *k* of a URL
 fails is a pure function of ``(failure_seed, url, k)``, so a failing
@@ -15,9 +17,9 @@ flakiness.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 
+from repro.runtime import REAL_CLOCK, Clock, Stopwatch
 from repro.websim.rnd import derive_rng
 from repro.websim.sites import Web
 
@@ -80,6 +82,11 @@ class SimulatedTransport:
     time_scale:
         Multiplier on simulated latency.  ``1.0`` sleeps the site's
         configured latency; ``0.0`` disables sleeping for fast tests.
+    clock:
+        The runtime clock latency is slept on and ``elapsed`` is
+        measured against.  Components downstream (fetcher, engine)
+        inherit this clock, so injecting a virtual clock here threads
+        virtual time through the whole crawl.
     """
 
     def __init__(
@@ -88,11 +95,13 @@ class SimulatedTransport:
         failure_rate: float = 0.0,
         time_scale: float = 1.0,
         failure_seed: int = 99,
+        clock: Clock | None = None,
     ):
         self.web = web
         self.failure_rate = failure_rate
         self.time_scale = time_scale
         self.failure_seed = failure_seed
+        self.clock = clock if clock is not None else REAL_CLOCK
         self.stats = TransportStats()
         self._attempts: dict[str, int] = {}
         self._attempt_lock = threading.Lock()
@@ -112,14 +121,14 @@ class SimulatedTransport:
         Raises :class:`TransportError` for connection-level failures;
         returns non-2xx :class:`Response` objects for HTTP errors.
         """
-        start = time.monotonic()
+        watch = Stopwatch(self.clock)
         host = self._host(url)
         site = self.web.site_for_url(url)
 
         if site is not None and self.time_scale > 0:
             low, high = site.latency_ms
             jitter = derive_rng(self.failure_seed, "lat", url).uniform(low, high)
-            time.sleep(jitter / 1000.0 * self.time_scale)
+            self.clock.sleep(jitter / 1000.0 * self.time_scale)
 
         attempt = self._next_attempt(url)
         roll = derive_rng(self.failure_seed, url, attempt).random()
@@ -131,21 +140,21 @@ class SimulatedTransport:
                 url=url,
                 status=503,
                 body="service unavailable",
-                elapsed=time.monotonic() - start,
+                elapsed=watch.elapsed,
             )
 
         body = self.web.page(url)
         if body is None:
             self.stats.record(host, failed=False)
             return Response(
-                url=url, status=404, body="not found", elapsed=time.monotonic() - start
+                url=url, status=404, body="not found", elapsed=watch.elapsed
             )
         self.stats.record(host, failed=False)
         return Response(
             url=url,
             status=200,
             body=body,
-            elapsed=time.monotonic() - start,
+            elapsed=watch.elapsed,
             headers={"content-type": "text/html; charset=utf-8"},
         )
 

@@ -77,7 +77,7 @@ class TestDeterminismRules:
         )
         assert rules(findings) == ["det/wall-clock"]
 
-    def test_monotonic_allowed(self, tmp_path):
+    def test_raw_sleep_and_monotonic_flagged(self, tmp_path):
         findings = lint_source(
             tmp_path,
             """
@@ -86,6 +86,58 @@ class TestDeterminismRules:
             def elapsed(start):
                 time.sleep(0.01)
                 return time.monotonic() - start
+            """,
+        )
+        assert rules(findings) == ["det/raw-sleep"] * 2
+
+    def test_from_import_sleep_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from time import sleep
+
+            def nap():
+                sleep(1)
+            """,
+        )
+        assert rules(findings) == ["det/raw-sleep"]
+
+    def test_perf_counter_allowed(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """,
+        )
+        assert findings == []
+
+    def test_clock_module_may_sleep(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def sleep(seconds):
+                time.sleep(seconds)
+
+            def now():
+                return time.monotonic()
+            """,
+            name="runtime/clock.py",
+        )
+        assert findings == []
+
+    def test_raw_sleep_suppressible(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def nap():
+                time.sleep(3600)  # repro: allow[raw-sleep]
             """,
         )
         assert findings == []
@@ -434,10 +486,11 @@ class TestCLIEntry:
         assert code == 0
         assert "grandfathered" in output
 
-    def test_no_baseline_reports_grandfathered(self):
+    def test_no_baseline_is_clean(self):
+        # the wall-clock debt was burned down; nothing is grandfathered
         code, output = self.run_lint("--no-baseline")
-        assert code == 1
-        assert "det/wall-clock" in output
+        assert code == 0
+        assert "0 findings" in output
 
     def test_module_subcommand(self):
         from repro.cli import main as cli_main
@@ -451,11 +504,11 @@ class TestCLIEntry:
 class TestRepoInvariants:
     """The linted tree itself, beyond the committed baseline."""
 
-    def test_baseline_only_contains_known_debt(self):
+    def test_baseline_is_empty(self):
         from repro.analysis.lint import DEFAULT_BASELINE
 
         entries = json.loads(DEFAULT_BASELINE.read_text())
-        assert {entry["rule"] for entry in entries} <= {"det/wall-clock"}
+        assert entries == []
 
     def test_src_lint_matches_baseline_exactly(self):
         from repro.analysis.lint import DEFAULT_BASELINE, DEFAULT_ROOT

@@ -22,6 +22,7 @@ from repro.crawlers import (
     path_of,
     resolve_url,
 )
+from repro.runtime import VirtualClock
 from repro.websim import SimulatedTransport, TransportError
 
 
@@ -129,35 +130,26 @@ class TestFrontier:
 
 class TestRateLimiter:
     def test_enforces_interval(self):
-        clock = [0.0]
-        sleeps = []
-        limiter = HostRateLimiter(
-            min_interval=1.0,
-            clock=lambda: clock[0],
-            sleep=lambda s: sleeps.append(s),
-        )
+        clock = VirtualClock()
+        limiter = HostRateLimiter(min_interval=1.0, clock=clock)
         assert limiter.acquire("h") == 0.0
         assert limiter.acquire("h") == 1.0
-        assert sleeps == [1.0]
+        assert clock.now() == 1.0
 
     def test_hosts_are_independent(self):
-        clock = [0.0]
-        limiter = HostRateLimiter(
-            min_interval=1.0, clock=lambda: clock[0], sleep=lambda s: None
-        )
+        clock = VirtualClock()
+        limiter = HostRateLimiter(min_interval=1.0, clock=clock)
         limiter.acquire("a")
         assert limiter.acquire("b") == 0.0
+        assert clock.now() == 0.0
 
     def test_robots_delay_applies(self):
-        clock = [0.0]
-        waits = []
-        limiter = HostRateLimiter(
-            min_interval=0.0, clock=lambda: clock[0], sleep=waits.append
-        )
+        clock = VirtualClock()
+        limiter = HostRateLimiter(min_interval=0.0, clock=clock)
         limiter.set_host_delay("h", 2.0)
-        limiter.acquire("h")
-        limiter.acquire("h")
-        assert waits == [2.0]
+        assert limiter.acquire("h") == 0.0
+        assert limiter.acquire("h") == 2.0
+        assert clock.now() == 2.0
 
 
 class TestFetcher:
