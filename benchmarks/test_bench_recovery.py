@@ -1,0 +1,184 @@
+"""E18 -- crash recovery of the unified storage engine.
+
+The paper's storage stage inherits durability from Neo4j and
+Elasticsearch; this reproduction owns it in :mod:`repro.storage`.  Two
+claims to quantify:
+
+1. **Crash matrix.**  Killing a deployment at *every* registered crash
+   point and reopening converges the graph, search index and crawl
+   state to the contents of an uninterrupted run -- zero lost reports,
+   zero duplicated ingests (the exactly-once marker discipline).
+2. **Recovery time vs journal length.**  Reopening replays the journal,
+   so recovery cost grows with commits since the last checkpoint and
+   collapses after one.
+
+Runs entirely on the virtual clock; wall time is a few seconds.
+"""
+
+import json
+import time
+
+from conftest import RESULTS_PATH, record_result
+
+from repro.core.config import SystemConfig
+from repro.core.system import SecurityKG
+from repro.graphdb.wal import GraphDatabase
+from repro.storage import CRASH_POINTS, CrashInjector, InjectedCrash
+
+WORKLOAD = dict(
+    scenario_count=6,
+    reports_per_site=2,
+    sources=["ThreatPedia", "MalwareBulletin"],
+    connectors=["graph", "search"],
+    clock="virtual",
+    seed=7,
+)
+
+
+def make_kg(path, faults=None):
+    return SecurityKG(SystemConfig(storage_path=str(path), **WORKLOAD), faults=faults)
+
+
+def _node_key(graph, node_id):
+    node = graph.node(node_id)
+    return (
+        node.label,
+        str(node.properties.get("merge_key", node.properties.get("name", ""))),
+    )
+
+
+def _props(properties):
+    out = dict(properties)
+    if isinstance(out.get("reports"), list):
+        out["reports"] = sorted(out["reports"])
+    return json.dumps(out, sort_keys=True)
+
+
+def fingerprint(kg):
+    """Node-id-free contents of every store (crawl timestamps excluded,
+    because a resumed run's virtual clock legitimately restarts)."""
+    graph = kg.graph
+    return {
+        "nodes": sorted((n.label, _props(n.properties)) for n in graph.nodes()),
+        "edges": sorted(
+            (_node_key(graph, e.src), e.type, _node_key(graph, e.dst),
+             _props(e.properties))
+            for e in graph.edges()
+        ),
+        "search": kg.connectors["search"].index.to_state()["documents"],
+        "seen": sorted(kg.engine.participant("crawl").seen),
+        "ingested": kg.engine.ingested_ids(),
+    }
+
+
+def test_bench_crash_matrix(tmp_path):
+    """Kill at every crash point; measure loss/duplication after resume."""
+    reference = make_kg(tmp_path / "reference")
+    reference.run_once()
+    reference.checkpoint()
+    expected = fingerprint(reference)
+    expected_ids = set(expected["ingested"])
+    reference.close()
+    assert expected_ids
+
+    rows = []
+    for index, point in enumerate(CRASH_POINTS):
+        path = tmp_path / f"crash-{index}"
+        kg = make_kg(path, faults=CrashInjector(point))
+        try:
+            kg.run_once()
+            kg.checkpoint()
+            raise AssertionError(f"crash point {point!r} never reached")
+        except InjectedCrash:
+            pass
+
+        resumed = make_kg(path)
+        durable_before = resumed.engine.ingested_count
+        report = resumed.run_once()
+        resumed.checkpoint()
+        got = fingerprint(resumed)
+        got_ids = set(got["ingested"])
+        lost = len(expected_ids - got_ids)
+        duplicated = (
+            durable_before + report.reports_stored + report.reports_skipped
+        ) - len(got_ids)
+        rows.append(
+            {
+                "point": point,
+                "durable_before_resume": durable_before,
+                "resumed_stored": report.reports_stored,
+                "lost": lost,
+                "duplicated": duplicated,
+                "converged": got == expected,
+            }
+        )
+        resumed.close()
+
+    print("\nE18: crash matrix (kill -> reopen -> resume, virtual clock)")
+    print(f"  {'crash point':<28} {'durable':>8} {'resumed':>8} "
+          f"{'lost':>5} {'dup':>4}  converged")
+    for row in rows:
+        print(
+            f"  {row['point']:<28} {row['durable_before_resume']:>8} "
+            f"{row['resumed_stored']:>8} {row['lost']:>5} "
+            f"{row['duplicated']:>4}  {row['converged']}"
+        )
+
+    assert all(row["lost"] == 0 for row in rows)
+    assert all(row["duplicated"] == 0 for row in rows)
+    assert all(row["converged"] for row in rows)
+
+    record_result(
+        "E18",
+        {
+            "claim": "recovery converges with zero lost or duplicated "
+            "reports at every crash point",
+            "workload_reports": len(expected_ids),
+            "matrix": rows,
+        },
+    )
+
+
+def test_bench_recovery_time_vs_journal_length(tmp_path):
+    """Reopen cost grows with the journal; a checkpoint collapses it."""
+    series = []
+    for commits in (64, 256, 1024):
+        path = tmp_path / f"journal-{commits}"
+        db = GraphDatabase(path, fsync=False)
+        for i in range(commits):
+            db.create_node("N", {"name": f"n{i}", "i": i})
+        db.close()
+
+        started = time.perf_counter()
+        reopened = GraphDatabase(path, fsync=False)
+        replay_ms = (time.perf_counter() - started) * 1000.0
+        assert reopened.graph.node_count == commits
+        reopened.snapshot()
+        reopened.close()
+
+        started = time.perf_counter()
+        compacted = GraphDatabase(path, fsync=False)
+        snapshot_ms = (time.perf_counter() - started) * 1000.0
+        assert compacted.graph.node_count == commits
+        compacted.close()
+        series.append(
+            {
+                "commits": commits,
+                "replay_reopen_ms": round(replay_ms, 2),
+                "checkpointed_reopen_ms": round(snapshot_ms, 2),
+            }
+        )
+
+    print("\nE18: recovery time vs journal length")
+    print(f"  {'commits':>8} {'replay (ms)':>12} {'after ckpt (ms)':>16}")
+    for row in series:
+        print(
+            f"  {row['commits']:>8} {row['replay_reopen_ms']:>12} "
+            f"{row['checkpointed_reopen_ms']:>16}"
+        )
+
+    existing = {}
+    if RESULTS_PATH.exists():
+        existing = json.loads(RESULTS_PATH.read_text()).get("E18", {})
+    existing["recovery_time"] = series
+    record_result("E18", existing)

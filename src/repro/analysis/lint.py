@@ -33,6 +33,13 @@ concurrency invariants the deterministic-replay pipeline depends on
 ``ser/unserializable-field``
     Dataclass fields in ``ontology/intermediate.py`` (the pipelined
     hand-off records) whose annotated type is not JSON-safe.
+``store/raw-atomic-write``
+    File renames outside ``repro/storage/`` -- ``Path.replace(target)``,
+    ``os.replace`` / ``os.rename``, ``shutil.move``.  A bare
+    write-then-rename is atomic but not durable (no fsync of the file
+    or its directory) and ``with_suffix(".tmp")`` collides for dotted
+    filenames; persistence must go through
+    :func:`repro.storage.atomic_write_bytes` and friends.
 
 Findings can be suppressed with a ``# repro: allow[rule]`` comment on
 the offending line or the line above; ``rule`` is the full id
@@ -53,6 +60,7 @@ from pathlib import Path
 from typing import Iterable, TextIO
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.storage.atomic import atomic_write_text
 
 #: Root the default scan covers: the installed ``repro`` package source.
 DEFAULT_ROOT = Path(__file__).resolve().parents[1]
@@ -67,6 +75,8 @@ RAW_SLEEP_SANCTIONED = ("runtime/clock.py",)
 CONCURRENCY_SUFFIXES = ("crawlers/engine.py", "core/pipeline.py")
 #: Files whose dataclasses must stay JSON-serialisable (pipeline hand-offs).
 SERIALIZABLE_SUFFIXES = ("ontology/intermediate.py",)
+#: The sanctioned home of raw file renames: the atomic-write helpers.
+ATOMIC_WRITE_SANCTIONED = "repro/storage/"
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
 
@@ -157,6 +167,8 @@ class _FileLint:
         )
         if self._flag_det or self._flag_raw_sleep:
             self._check_determinism(tree)
+        if ATOMIC_WRITE_SANCTIONED not in self.path.resolve().as_posix():
+            self._check_atomic_writes(tree)
         self._check_exception_handling(tree)
         if _has_suffix(self.path, CONCURRENCY_SUFFIXES):
             self._check_concurrency(tree)
@@ -275,6 +287,62 @@ class _FileLint:
             f"{what}() bypasses the injected repro.runtime clock; sleep "
             "and measure elapsed time through a Clock so virtual-time "
             "runs stay instant",
+            node,
+        )
+
+    # -- atomic writes -----------------------------------------------------
+
+    def _check_atomic_writes(self, tree: ast.Module) -> None:
+        module_aliases: dict[str, str] = {}  # local name -> module
+        from_imports: dict[str, str] = {}  # local name -> "mod.attr"
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("os", "shutil"):
+                        module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "os",
+                "shutil",
+            ):
+                for alias in node.names:
+                    if alias.name in ("replace", "rename", "move"):
+                        from_imports[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                what = from_imports.get(func.id)
+                if what is not None:
+                    self._flag_raw_rename(node, what)
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in module_aliases:
+                module = module_aliases[base.id]
+                if (module == "os" and func.attr in ("replace", "rename")) or (
+                    module == "shutil" and func.attr == "move"
+                ):
+                    self._flag_raw_rename(node, f"{module}.{func.attr}")
+                continue
+            # Path.replace(target): one positional argument, no keywords
+            # (str.replace always takes two -- this cannot be it)
+            if (
+                func.attr == "replace"
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                self._flag_raw_rename(node, ".replace")
+
+    def _flag_raw_rename(self, node: ast.Call, what: str) -> None:
+        self.add(
+            "store/raw-atomic-write",
+            f"{what}(...) renames a file without fsync, so the data can "
+            "vanish on a host crash; persist through the "
+            "repro.storage.atomic_write_* helpers",
             node,
         )
 
@@ -678,7 +746,7 @@ def write_baseline(findings: list[Diagnostic], path: Path) -> int:
         {"path": rel, "rule": rule, "line": line_text, "count": count}
         for (rel, rule, line_text), count in sorted(counts.items())
     ]
-    path.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(entries, indent=2) + "\n")
     return len(entries)
 
 

@@ -11,73 +11,67 @@ Drives the whole system from a shell::
     python -m repro hunt    --state ./kgdata --attacks 3
     python -m repro serve   --state ./kgdata --port 8750
 
-``--state DIR`` persists the graph (WAL + snapshots) and the search
-index under DIR, so separate invocations operate on the same knowledge
-graph -- collection in one command, querying in the next.
+``--state DIR`` opens one unified :class:`~repro.storage.StorageEngine`
+under DIR: the graph, the search index and the incremental-crawl state
+share a single journal, every stored report is one atomic cross-store
+commit, and a run killed mid-batch resumes exactly where it stopped
+(already-committed reports are skipped, the rest re-ingest).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 from repro.core.config import SystemConfig
 from repro.core.system import SecurityKG
+from repro.storage.atomic import atomic_write_text
+from repro.storage.faults import CRASH_POINTS, CrashInjector, InjectedCrash
 
-
-def _state_paths(state: str | None) -> tuple[str | None, Path | None]:
-    if state is None:
-        return None, None
-    root = Path(state)
-    root.mkdir(parents=True, exist_ok=True)
-    return str(root / "graph"), root / "search_index.json"
+#: exit code of a ``run`` killed by an injected crash (recovery tests)
+EXIT_CRASHED = 3
 
 
 def build_system(args: argparse.Namespace) -> SecurityKG:
-    graph_path, index_path = _state_paths(args.state)
-    crawl_state = (
-        str(Path(args.state) / "crawl_state.json") if args.state else None
-    )
     config = SystemConfig(
         scenario_count=args.scenarios,
         reports_per_site=args.reports_per_site,
         seed=args.seed,
-        graph_path=graph_path,
-        crawl_state_path=crawl_state,
+        storage_path=args.state,
         connectors=["graph", "search"],
         recognizer=getattr(args, "recognizer", "gazetteer"),
         clock=getattr(args, "clock", None) or "real",
     )
     if args.config:
         config = SystemConfig.from_file(args.config)
-        if graph_path and not config.graph_path:
-            config.graph_path = graph_path
+        if args.state and not config.storage_path:
+            config.storage_path = args.state
         if getattr(args, "clock", None):
             config.clock = args.clock
-    system = SecurityKG(config)
-    if index_path is not None and index_path.exists():
-        from repro.search.index import SearchIndex
-
-        system.connectors["search"].index = SearchIndex.load(index_path)
-    return system
-
-
-def _save_state(system: SecurityKG, args: argparse.Namespace) -> None:
-    _graph_path, index_path = _state_paths(args.state)
-    if index_path is not None:
-        system.connectors["search"].index.save(index_path)
-    system.database.snapshot()
+    faults = None
+    crash_at = getattr(args, "crash_at", None)
+    if crash_at:
+        faults = CrashInjector(crash_at, at_hit=getattr(args, "crash_at_hit", 1))
+    return SecurityKG(config, faults=faults)
 
 
 def cmd_run(args: argparse.Namespace, out) -> int:
     system = build_system(args)
-    report = system.run_once(max_articles=args.max_articles)
-    print(report.describe(), file=out)
-    if args.state:
-        _save_state(system, args)
-        print(f"state saved under {args.state}", file=out)
+    try:
+        report = system.run_once(max_articles=args.max_articles)
+        print(report.describe(), file=out)
+        if args.state:
+            system.checkpoint()
+            print(f"state saved under {args.state}", file=out)
+    except InjectedCrash as crash:
+        print(
+            f"simulated crash at {crash.point!r}; "
+            "rerun with the same --state to resume",
+            file=out,
+        )
+        return EXIT_CRASHED
+    system.close()
     return 0
 
 
@@ -154,7 +148,10 @@ def cmd_fuse(args: argparse.Namespace, out) -> int:
     for group in report.merged_groups:
         print("  " + " == ".join(group), file=out)
     if args.state:
-        _save_state(system, args)
+        # fusion rewrites the graph in place; a checkpoint makes the
+        # fused state the new durable generation
+        system.checkpoint()
+    system.close()
     return 0
 
 
@@ -165,7 +162,7 @@ def cmd_export(args: argparse.Namespace, out) -> int:
     bundle = export_graph(system.graph)
     payload = bundle.to_json(indent=2)
     if args.out:
-        Path(args.out).write_text(payload)
+        atomic_write_text(Path(args.out), payload)
         print(f"wrote {len(bundle.objects)} STIX objects to {args.out}", file=out)
     else:
         print(payload, file=out)
@@ -251,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-articles", type=int, default=None)
     p.add_argument("--recognizer", choices=("gazetteer", "regex", "crf"),
                    default="gazetteer")
+    # fault-injection hooks for recovery tests: die at a storage-engine
+    # crash point (optionally its n-th occurrence), exit code 3
+    p.add_argument("--crash-at", choices=CRASH_POINTS, default=None,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--crash-at-hit", type=int, default=1,
+                   help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("search", help="keyword search over collected reports")

@@ -5,13 +5,21 @@ Elasticsearch role in paper section 2.6).  This connector indexes each
 report's title, body, source and extracted entity names, so a query
 like "wannacry" surfaces the relevant reports and, through their
 entity fields, the graph nodes to focus.
+
+Attached to a :class:`~repro.storage.StorageEngine`, every document it
+indexes becomes an incremental ``add`` journal op in the engine's
+shared commit -- replacing the old save-the-whole-index-at-exit
+persistence with per-batch durability.
 """
 
 from __future__ import annotations
 
 from repro.connectors.base import Connector, IngestStats, registry
 from repro.ontology.intermediate import CTIRecord
-from repro.search.index import SearchIndex
+from repro.search.index import SearchIndex, SearchIndexParticipant
+from repro.storage.engine import StorageEngine
+
+_DEFAULT_BOOSTS = {"title": 3.0, "entities": 2.0, "body": 1.0}
 
 
 @registry.register
@@ -20,14 +28,25 @@ class SearchConnector(Connector):
 
     name = "search"
 
-    def __init__(self, index: SearchIndex | None = None):
+    def __init__(
+        self,
+        index: SearchIndex | None = None,
+        engine: StorageEngine | None = None,
+    ):
         super().__init__()
-        self.index = index or SearchIndex(
-            field_boosts={"title": 3.0, "entities": 2.0, "body": 1.0}
-        )
+        self.engine = engine
+        if engine is not None:
+            if index is not None:
+                raise ValueError("pass either index or engine, not both")
+            participant = engine.participant(SearchIndexParticipant.name)
+            self.index = participant.index
+            self.index.field_boosts = dict(_DEFAULT_BOOSTS)
+        else:
+            self.index = index or SearchIndex(field_boosts=_DEFAULT_BOOSTS)
 
     def ingest(self, records: list[CTIRecord]) -> IngestStats:
         stats = IngestStats(records=len(records))
+        ops: list[dict] = []
         for record in records:
             entity_names = " ".join(
                 sorted({mention.text for mention in record.mentions})
@@ -35,18 +54,23 @@ class SearchConnector(Connector):
             ioc_values = " ".join(
                 value for values in record.iocs.values() for value in values
             )
-            self.index.add(
-                record.report_id,
-                {
-                    "title": record.title,
-                    "body": record.text,
-                    "entities": f"{entity_names} {ioc_values}".strip(),
-                    "source": record.source,
-                    "url": record.url,
-                    "category": record.report_category,
-                },
-            )
+            fields = {
+                "title": record.title,
+                "body": record.text,
+                "entities": f"{entity_names} {ioc_values}".strip(),
+                "source": record.source,
+                "url": record.url,
+                "category": record.report_category,
+            }
+            if self.engine is not None:
+                ops.append(
+                    {"op": "add", "doc_id": record.report_id, "fields": fields}
+                )
+            else:
+                self.index.add(record.report_id, fields)
             stats.entities_created += 1
+        if ops:
+            self.engine.log(SearchIndexParticipant.name, ops)
         self.total += stats
         return stats
 

@@ -15,6 +15,8 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.storage.atomic import atomic_write_text
+
 
 @dataclass
 class SystemConfig:
@@ -45,10 +47,17 @@ class SystemConfig:
         paper's example of a component parameter.
     crf_training_scenarios / crf_max_iterations:
         Training budget when ``recognizer == "crf"``.
+    storage_path:
+        Directory for the unified storage engine (``None`` = in-memory).
+        When set, the graph, search index, crawl state and SQL mirror
+        all persist under one crash-consistent journal and
+        ``graph_path`` / ``crawl_state_path`` are ignored.
     graph_path:
-        Directory for graph persistence (``None`` = in-memory).
+        Directory for standalone graph persistence (``None`` = in-memory;
+        superseded by ``storage_path``).
     crawl_state_path:
-        JSON file for incremental-crawl state (``None`` = in-memory).
+        JSON file for standalone incremental-crawl state (``None`` =
+        in-memory; superseded by ``storage_path``).
     checker_min_chars:
         Minimum rendered-text length accepted by the checker.
     clock:
@@ -72,6 +81,7 @@ class SystemConfig:
     recognizer_min_confidence: float = 0.3
     crf_training_scenarios: int = 30
     crf_max_iterations: int = 60
+    storage_path: str | None = None
     graph_path: str | None = None
     crawl_state_path: str | None = None
     checker_min_chars: int = 120
@@ -98,7 +108,7 @@ class SystemConfig:
         return cls.from_json(Path(path).read_text())
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json())
+        atomic_write_text(Path(path), self.to_json())
 
 
 __all__ = ["SystemConfig"]

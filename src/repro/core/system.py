@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.connectors.base import Connector, IngestStats
 from repro.connectors.graph import GraphConnector
 from repro.connectors.searchconn import SearchConnector
-from repro.connectors.sql import SQLConnector
+from repro.connectors.sql import SQLConnector, SQLParticipant
 from repro.core.checker import Checker, make_min_text_check, default_checks
 from repro.core.config import SystemConfig
 from repro.core.extractor import Extractor
@@ -33,14 +33,15 @@ from repro.core.porter import Porter
 from repro.crawlers.engine import CrawlEngine, CrawlResult
 from repro.crawlers.fetcher import Fetcher
 from repro.crawlers.sources import build_all_crawlers
-from repro.crawlers.state import CrawlState
+from repro.crawlers.state import CrawlParticipant, CrawlState
 from repro.fusion.fuse import FusionReport, KnowledgeFusion
 from repro.graphdb.cypher.executor import CypherEngine, ResultRow
-from repro.graphdb.wal import GraphDatabase
+from repro.graphdb.wal import GraphDatabase, GraphParticipant
 from repro.nlp.baselines import GazetteerRecognizer, RegexRecognizer
 from repro.ontology.intermediate import CTIRecord, ReportRecord
 from repro.runtime import Clock, clock_from_name
-from repro.search.index import SearchHit
+from repro.search.index import SearchHit, SearchIndexParticipant
+from repro.storage.engine import StorageEngine
 from repro.websim.network import SimulatedTransport
 from repro.websim.scenario import generate_report_content, make_scenarios
 from repro.websim.sites import Web, build_default_web
@@ -54,6 +55,7 @@ class SystemReport:
     reports_ported: int = 0
     reports_rejected: int = 0
     reports_stored: int = 0
+    reports_skipped: int = 0
     rejection_reasons: dict[str, int] = field(default_factory=dict)
     ingest: dict[str, IngestStats] = field(default_factory=dict)
     pipeline_elapsed: float = 0.0
@@ -73,6 +75,10 @@ class SystemReport:
             f"processed + stored {self.reports_stored} reports in "
             f"{self.pipeline_elapsed:.2f}s",
         ]
+        if self.reports_skipped:
+            lines.append(
+                f"skipped {self.reports_skipped} already-ingested reports"
+            )
         for name, stats in self.ingest.items():
             lines.append(
                 f"  {name}: +{stats.entities_created} entities "
@@ -100,6 +106,9 @@ class SecurityKG:
         Pre-built runtime clock; overrides ``config.clock``.  One clock
         flows to the transport, crawl engine and pipeline so the whole
         deployment shares a single notion of time.
+    faults:
+        Optional :class:`~repro.storage.CrashInjector` forwarded to the
+        storage engine (recovery tests and the E18 benchmark).
     """
 
     def __init__(
@@ -108,6 +117,7 @@ class SecurityKG:
         web: Web | None = None,
         recognizer=None,
         clock: Clock | None = None,
+        faults=None,
     ):
         self.config = config or SystemConfig()
         self.clock = (
@@ -124,7 +134,26 @@ class SecurityKG:
             time_scale=self.config.time_scale,
             clock=self.clock,
         )
-        self.state = CrawlState(self.config.crawl_state_path)
+        if self.config.storage_path is not None:
+            # Unified mode: one engine, one journal, one atomic commit
+            # across the graph, search index, crawl state and SQL mirror.
+            participants = [
+                GraphParticipant(),
+                SearchIndexParticipant(),
+                CrawlParticipant(),
+            ]
+            if "sql" in (self.config.connectors or []):
+                participants.append(SQLParticipant())
+            self.engine = StorageEngine(
+                self.config.storage_path, participants, faults=faults
+            )
+            self.state = CrawlState(engine=self.engine)
+        else:
+            # Standalone mode: stores persist (or not) independently;
+            # an in-memory engine still tracks ingest markers so
+            # re-processed reports are never double-counted in-session.
+            self.engine = StorageEngine(None, [], faults=faults)
+            self.state = CrawlState(self.config.crawl_state_path)
         self.porter = Porter()
         checks = default_checks()
         checks[1] = make_min_text_check(self.config.checker_min_chars)
@@ -135,22 +164,27 @@ class SecurityKG:
             min_confidence=self.config.recognizer_min_confidence,
         )
 
-        self.database = GraphDatabase(self.config.graph_path)
+        if self.config.storage_path is not None:
+            self.database = GraphDatabase(engine=self.engine)
+        else:
+            self.database = GraphDatabase(self.config.graph_path)
         self.connectors: dict[str, Connector] = {}
         for name in self.config.connectors:
             self.connectors[name] = self._build_connector(name)
         self.fusion = KnowledgeFusion()
         self._cypher = CypherEngine(self.database.graph)
+        self._last_skipped = 0
 
     # -- wiring ----------------------------------------------------------
 
     def _build_connector(self, name: str) -> Connector:
+        unified = self.config.storage_path is not None
         if name == "graph":
             return GraphConnector(self.database)
         if name == "sql":
-            return SQLConnector()
+            return SQLConnector(engine=self.engine if unified else None)
         if name == "search":
-            return SearchConnector()
+            return SearchConnector(engine=self.engine if unified else None)
         from repro.connectors.base import registry
 
         return registry.create(name)
@@ -249,11 +283,32 @@ class SecurityKG:
         return list(result.outputs), result
 
     def store(self, records: list[CTIRecord]) -> dict[str, IngestStats]:
-        """Storage stage: drive every configured connector."""
-        return {
-            name: connector.ingest(records)
-            for name, connector in self.connectors.items()
+        """Storage stage: one atomic cross-store commit per report.
+
+        Each report's graph mutations, search-index docs, SQL rows,
+        *and* its seen-URL delta land in one engine transaction with an
+        ingest marker, so replaying the same input after a crash is
+        exactly-once: already-marked reports are skipped (counted in
+        ``SystemReport.reports_skipped``), unmarked ones re-ingest.
+        Leftover staged crawl state (rejected reports' URLs, crawl
+        timestamps) is flushed at the end of the batch.
+        """
+        totals = {
+            name: IngestStats() for name in self.connectors
         }
+        skipped = 0
+        for record in records:
+            if self.engine.is_ingested(record.report_id):
+                skipped += 1
+                continue
+            with self.engine.transaction() as tx:
+                for name, connector in self.connectors.items():
+                    totals[name] += connector.ingest_one(record)
+                tx.adopt_staged(CrawlParticipant.name, [record.url])
+                tx.mark_ingested(record.report_id)
+        self.engine.flush()
+        self._last_skipped = skipped
+        return totals
 
     def run_once(self, max_articles: int | None = None) -> SystemReport:
         """One full collect -> process -> store cycle."""
@@ -266,11 +321,13 @@ class SecurityKG:
         reasons: dict[str, int] = {}
         for _record, reason in check_report.rejected:
             reasons[reason] = reasons.get(reason, 0) + 1
+        skipped = self._last_skipped
         return SystemReport(
             crawl=crawl_result,
             reports_ported=len(ported),
             reports_rejected=len(check_report.rejected),
-            reports_stored=len(records),
+            reports_stored=len(records) - skipped,
+            reports_skipped=skipped,
             rejection_reasons=reasons,
             ingest=ingest,
             pipeline_elapsed=pipeline_result.elapsed,
@@ -306,6 +363,24 @@ class SecurityKG:
             "labels": self.graph.label_counts(),
             "edge_types": self.graph.edge_type_counts(),
         }
+
+    # -- lifecycle --------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Compact the storage engine's journal (unified mode)."""
+        self.engine.checkpoint()
+
+    def close(self) -> None:
+        """Release storage resources (flushes healthy staged state)."""
+        self.engine.close()
+        if self.database.engine is not self.engine:
+            self.database.close()
+
+    def __enter__(self) -> "SecurityKG":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 __all__ = ["SecurityKG", "SystemReport"]

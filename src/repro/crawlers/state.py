@@ -3,7 +3,16 @@
 The paper's crawler framework collects "periodically and
 incrementally": a re-crawl must skip reports it already has.  The
 state records every article URL ever emitted plus per-source crawl
-timestamps, and persists to a JSON file so state survives restarts.
+timestamps.
+
+Persistence has two modes.  Standalone (``CrawlState(path)``) keeps the
+historical single-JSON-file format, now written through the fsync'd
+atomic helper.  Attached (``CrawlState(engine=...)``) the state is a
+participant in the unified :class:`~repro.storage.StorageEngine`:
+seen-URL deltas are *staged* -- applied to memory immediately so the
+crawler's dedup works, but made durable only by the transaction that
+stores the matching report.  A crash between crawl and store therefore
+re-crawls the report instead of silently losing it.
 """
 
 from __future__ import annotations
@@ -12,67 +21,134 @@ import json
 import threading
 from pathlib import Path
 
+from repro.storage.atomic import atomic_write_json
+from repro.storage.engine import StorageEngine
 
-class CrawlState:
-    """Thread-safe seen-URL set with optional JSON persistence."""
 
-    def __init__(self, path: str | Path | None = None):
-        self.path = Path(path) if path is not None else None
-        self._seen: set[str] = set()
-        self._last_crawl: dict[str, float] = {}
-        self._lock = threading.Lock()
-        if self.path is not None and self.path.exists():
-            self._load()
+class CrawlParticipant:
+    """The crawl state's storage-engine adapter.
 
-    def _load(self) -> None:
-        data = json.loads(self.path.read_text())
-        self._seen = set(data.get("seen", []))
-        self._last_crawl = {
+    Ops: ``seen`` / ``unseen`` (url), ``crawl`` (source + timestamp).
+    """
+
+    name = "crawl"
+
+    def __init__(self) -> None:
+        self.seen: set[str] = set()
+        self.last_crawl: dict[str, float] = {}
+
+    def apply(self, ops: list[dict]) -> None:
+        for op in ops:
+            kind = op["op"]
+            if kind == "seen":
+                self.seen.add(op["url"])
+            elif kind == "unseen":
+                self.seen.discard(op["url"])
+            elif kind == "crawl":
+                self.last_crawl[op["source"]] = float(op["ts"])
+            else:  # pragma: no cover - corrupted journal
+                raise ValueError(f"unknown crawl operation {kind!r}")
+
+    def snapshot_data(self) -> dict:
+        return {
+            "seen": sorted(self.seen),
+            "last_crawl": dict(self.last_crawl),
+        }
+
+    def load_snapshot(self, data: dict) -> None:
+        self.seen = set(data.get("seen", []))
+        self.last_crawl = {
             str(k): float(v) for k, v in data.get("last_crawl", {}).items()
         }
 
+    def reset(self) -> None:
+        self.seen = set()
+        self.last_crawl = {}
+
+
+class CrawlState:
+    """Thread-safe seen-URL set, standalone or engine-attached."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        engine: StorageEngine | None = None,
+    ):
+        if engine is not None and path is not None:
+            raise ValueError("pass either path or engine, not both")
+        self.engine = engine
+        if engine is not None:
+            self.path = None
+            self._participant = engine.participant(CrawlParticipant.name)
+            self._lock = engine.lock
+        else:
+            self.path = Path(path) if path is not None else None
+            self._participant = CrawlParticipant()
+            self._lock = threading.Lock()
+            if self.path is not None and self.path.exists():
+                self._participant.load_snapshot(json.loads(self.path.read_text()))
+
     def save(self) -> None:
-        """Persist atomically (write-then-rename)."""
-        if self.path is None:
+        """Persist durably (no-op when an engine owns persistence)."""
+        if self.engine is not None or self.path is None:
             return
         with self._lock:
-            payload = {
-                "seen": sorted(self._seen),
-                "last_crawl": dict(self._last_crawl),
-            }
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(self.path)
+            payload = self._participant.snapshot_data()
+        atomic_write_json(self.path, payload)
 
     def is_seen(self, url: str) -> bool:
         with self._lock:
-            return url in self._seen
+            return url in self._participant.seen
 
     def mark_seen(self, url: str) -> bool:
-        """Record a URL; returns False when it was already known."""
+        """Record a URL; returns False when it was already known.
+
+        Engine-attached, the delta is staged under the URL as its key:
+        visible to dedup at once, durable only with the report's commit.
+        """
         with self._lock:
-            if url in self._seen:
+            if url in self._participant.seen:
                 return False
-            self._seen.add(url)
+            if self.engine is not None:
+                self.engine.stage(
+                    CrawlParticipant.name, {"op": "seen", "url": url}, key=url
+                )
+            else:
+                self._participant.seen.add(url)
             return True
 
     def unmark(self, url: str) -> None:
         """Forget a URL (e.g. its document was dropped by a crawl cap)."""
         with self._lock:
-            self._seen.discard(url)
+            if self.engine is not None:
+                if self.engine.unstage(CrawlParticipant.name, url):
+                    # the seen delta never became durable; just revert memory
+                    self._participant.apply([{"op": "unseen", "url": url}])
+                elif url in self._participant.seen:
+                    self.engine.stage(
+                        CrawlParticipant.name, {"op": "unseen", "url": url}, key=url
+                    )
+            else:
+                self._participant.seen.discard(url)
 
     def record_crawl(self, source: str, timestamp: float) -> None:
         with self._lock:
-            self._last_crawl[source] = timestamp
+            if self.engine is not None:
+                self.engine.stage(
+                    CrawlParticipant.name,
+                    {"op": "crawl", "source": source, "ts": timestamp},
+                )
+            else:
+                self._participant.last_crawl[source] = timestamp
 
     def last_crawl(self, source: str) -> float | None:
         with self._lock:
-            return self._last_crawl.get(source)
+            return self._participant.last_crawl.get(source)
 
     @property
     def seen_count(self) -> int:
         with self._lock:
-            return len(self._seen)
+            return len(self._participant.seen)
 
 
-__all__ = ["CrawlState"]
+__all__ = ["CrawlParticipant", "CrawlState"]

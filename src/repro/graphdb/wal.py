@@ -1,24 +1,111 @@
-"""Durability: write-ahead log and snapshots for the property graph.
+"""Durable property graph on the unified storage engine.
 
-:class:`GraphDatabase` wraps a :class:`~repro.graphdb.store.PropertyGraph`
-with persistence: every mutation is appended to a JSON-lines WAL
-before being applied, snapshots compact the log, and opening a
-database replays ``snapshot + WAL`` to recover exactly the pre-crash
-state.  Transactions buffer mutations and append them atomically as
-one WAL batch record.
+:class:`GraphDatabase` keeps its historical API (transactions with
+placeholder ids, auto-committed single mutations, snapshot compaction)
+but persistence now lives in :class:`repro.storage.StorageEngine`: the
+graph registers a :class:`GraphParticipant` whose op batches are
+journalled alongside the search index's and crawl state's, so one
+pipeline batch commits across all stores atomically.  A standalone
+``GraphDatabase(path)`` simply owns a single-participant engine.
 """
 
 from __future__ import annotations
 
-import json
-import threading
 from pathlib import Path
 
 from repro.graphdb.store import Edge, Node, PropertyGraph
+from repro.storage.engine import StorageEngine
 
 
 class TransactionError(Exception):
     """Raised for misuse of the transaction API."""
+
+
+class GraphApplyOutcome:
+    """What applying one graph op batch produced."""
+
+    __slots__ = ("id_map", "edges")
+
+    def __init__(self, id_map: dict[int, int], edges: list[Edge]):
+        self.id_map = id_map
+        self.edges = edges
+
+
+class GraphParticipant:
+    """The property graph's storage-engine adapter.
+
+    Ops (one batch preserves one transaction's placeholder scope):
+
+    - ``create_node``: ``ref`` (placeholder < 0), ``label``, ``props``
+    - ``create_edge``: ``src``/``dst`` (real or placeholder), ``type``, ``props``
+    - ``set_node_props`` / ``set_edge_props``: ``id``, ``props``
+    """
+
+    name = "graph"
+
+    def __init__(self) -> None:
+        self.graph = PropertyGraph()
+
+    def apply(self, ops: list[dict]) -> GraphApplyOutcome:
+        id_map: dict[int, int] = {}
+        edges: list[Edge] = []
+
+        def real(node_id: int) -> int:
+            return id_map.get(node_id, node_id) if node_id < 0 else node_id
+
+        for op in ops:
+            kind = op["op"]
+            if kind == "create_node":
+                node = self.graph.create_node(op["label"], op["props"])
+                id_map[int(op["ref"])] = node.node_id
+            elif kind == "create_edge":
+                edges.append(
+                    self.graph.create_edge(
+                        real(int(op["src"])),
+                        op["type"],
+                        real(int(op["dst"])),
+                        op["props"],
+                    )
+                )
+            elif kind == "set_node_props":
+                self.graph.set_node_properties(real(int(op["id"])), op["props"])
+            elif kind == "set_edge_props":
+                self.graph.set_edge_properties(int(op["id"]), op["props"])
+            else:  # pragma: no cover - corrupted journal
+                raise ValueError(f"unknown graph operation {kind!r}")
+        return GraphApplyOutcome(id_map, edges)
+
+    def snapshot_data(self) -> dict:
+        return {
+            "nodes": [
+                {"id": n.node_id, "label": n.label, "props": n.properties}
+                for n in self.graph.nodes()
+            ],
+            "edges": [
+                {"src": e.src, "type": e.type, "dst": e.dst, "props": e.properties}
+                for e in self.graph.edges()
+            ],
+        }
+
+    def load_snapshot(self, data: dict) -> None:
+        # Node ids must survive restarts verbatim: journal records
+        # written after the snapshot reference them.
+        graph = PropertyGraph()
+        for node_data in data.get("nodes", []):
+            graph.restore_node(
+                int(node_data["id"]), node_data["label"], node_data["props"]
+            )
+        for edge_data in data.get("edges", []):
+            graph.create_edge(
+                int(edge_data["src"]),
+                edge_data["type"],
+                int(edge_data["dst"]),
+                edge_data["props"],
+            )
+        self.graph = graph
+
+    def reset(self) -> None:
+        self.graph = PropertyGraph()
 
 
 class Transaction:
@@ -104,105 +191,59 @@ class Transaction:
 
 
 class GraphDatabase:
-    """Persistent property graph: snapshot + WAL + transactions.
+    """Persistent property graph: journal + snapshots + transactions.
 
     Parameters
     ----------
     path:
-        Directory for ``snapshot.json`` and ``wal.jsonl``.  ``None``
-        keeps the database purely in memory (tests, benchmarks).
+        Directory for the storage engine's manifest/journal/snapshots.
+        ``None`` keeps the database purely in memory (tests, benchmarks).
+    engine:
+        An already-open :class:`~repro.storage.StorageEngine` with a
+        ``graph`` participant registered; the database attaches to it
+        instead of owning one (unified multi-store mode).  Mutually
+        exclusive with ``path``.
     """
 
-    SNAPSHOT = "snapshot.json"
-    WAL = "wal.jsonl"
-
-    def __init__(self, path: str | Path | None = None):
-        self.graph = PropertyGraph()
-        self.path = Path(path) if path is not None else None
-        self._write_lock = threading.Lock()
-        self._wal_handle = None
-        if self.path is not None:
-            self.path.mkdir(parents=True, exist_ok=True)
-            self._recover()
-            self._wal_handle = (self.path / self.WAL).open("a", encoding="utf-8")
-
-    # -- recovery ---------------------------------------------------------
-
-    def _recover(self) -> None:
-        snapshot_path = self.path / self.SNAPSHOT
-        if snapshot_path.exists():
-            self._load_snapshot(json.loads(snapshot_path.read_text()))
-        wal_path = self.path / self.WAL
-        if wal_path.exists():
-            valid_bytes = 0
-            with wal_path.open(encoding="utf-8") as handle:
-                for line in handle:
-                    stripped = line.strip()
-                    if stripped:
-                        try:
-                            record = json.loads(stripped)
-                        except json.JSONDecodeError:
-                            # A torn final record from a crash mid-append:
-                            # recover up to the last complete record and
-                            # truncate the tail (standard WAL recovery).
-                            break
-                        self._apply(record["ops"], log=False)
-                    valid_bytes += len(line.encode("utf-8"))
-            if valid_bytes < wal_path.stat().st_size:
-                with wal_path.open("r+b") as handle:
-                    handle.truncate(valid_bytes)
-
-    def _load_snapshot(self, data: dict) -> None:
-        # Node ids must survive restarts verbatim: WAL records written
-        # after the snapshot reference them.
-        graph = PropertyGraph()
-        for node_data in data.get("nodes", []):
-            graph.restore_node(
-                int(node_data["id"]), node_data["label"], node_data["props"]
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        engine: StorageEngine | None = None,
+        faults=None,
+        fsync: bool = True,
+    ):
+        if engine is not None:
+            if path is not None:
+                raise ValueError("pass either path or engine, not both")
+            self.engine = engine
+            self._owns_engine = False
+            self._participant = engine.participant(GraphParticipant.name)
+        else:
+            self._participant = GraphParticipant()
+            self.engine = StorageEngine(
+                path, [self._participant], faults=faults, fsync=fsync
             )
-        for edge_data in data.get("edges", []):
-            graph.create_edge(
-                int(edge_data["src"]),
-                edge_data["type"],
-                int(edge_data["dst"]),
-                edge_data["props"],
-            )
-        self.graph = graph
+            self._owns_engine = True
 
-    # -- mutation path ---------------------------------------------------------
+    @property
+    def graph(self) -> PropertyGraph:
+        return self._participant.graph
+
+    @property
+    def path(self) -> Path | None:
+        return self.engine.path
+
+    # -- mutation path ----------------------------------------------------
 
     def _commit(self, ops: list[dict[str, object]]) -> dict[int, int]:
-        with self._write_lock:
-            if self._wal_handle is not None:
-                self._wal_handle.write(json.dumps({"ops": ops}) + "\n")
-                self._wal_handle.flush()
-            return self._apply(ops, log=False)
+        if not ops:
+            return {}
+        return self._log(ops).id_map
 
-    def _apply(self, ops: list[dict[str, object]], log: bool) -> dict[int, int]:
-        del log  # WAL append happens in _commit before _apply
-        id_map: dict[int, int] = {}
+    def _log(self, ops: list[dict[str, object]]) -> GraphApplyOutcome:
+        return self.engine.log(GraphParticipant.name, ops)
 
-        def real(node_id: int) -> int:
-            return id_map.get(node_id, node_id) if node_id < 0 else node_id
-
-        for op in ops:
-            kind = op["op"]
-            if kind == "create_node":
-                node = self.graph.create_node(op["label"], op["props"])
-                id_map[int(op["ref"])] = node.node_id
-            elif kind == "create_edge":
-                self.graph.create_edge(
-                    real(int(op["src"])), op["type"], real(int(op["dst"])), op["props"]
-                )
-            elif kind == "set_node_props":
-                self.graph.set_node_properties(real(int(op["id"])), op["props"])
-            elif kind == "set_edge_props":
-                self.graph.set_edge_properties(int(op["id"]), op["props"])
-            else:  # pragma: no cover - corrupted WAL
-                raise ValueError(f"unknown WAL operation {kind!r}")
-        return id_map
-
-    # -- public API -------------------------------------------------------------
+    # -- public API -------------------------------------------------------
 
     def begin(self) -> Transaction:
         """Start a buffered transaction."""
@@ -210,10 +251,11 @@ class GraphDatabase:
 
     def create_node(self, label: str, properties: dict[str, object] | None = None) -> Node:
         """Auto-committed single-node insert."""
-        with self.begin() as tx:
-            ref = tx.create_node(label, properties)
-            id_map = tx.commit()
-        return self.graph.node(id_map[ref])
+        outcome = self._log(
+            [{"op": "create_node", "ref": -1, "label": label,
+              "props": dict(properties or {})}]
+        )
+        return self.graph.node(outcome.id_map[-1])
 
     def create_edge(
         self,
@@ -223,15 +265,11 @@ class GraphDatabase:
         properties: dict[str, object] | None = None,
     ) -> Edge:
         """Auto-committed single-edge insert."""
-        with self._write_lock:
-            if self._wal_handle is not None:
-                ops = [
-                    {"op": "create_edge", "src": src, "type": edge_type, "dst": dst,
-                     "props": dict(properties or {})}
-                ]
-                self._wal_handle.write(json.dumps({"ops": ops}) + "\n")
-                self._wal_handle.flush()
-            return self.graph.create_edge(src, edge_type, dst, properties)
+        outcome = self._log(
+            [{"op": "create_edge", "src": src, "type": edge_type, "dst": dst,
+              "props": dict(properties or {})}]
+        )
+        return outcome.edges[-1]
 
     def set_node_properties(self, node_id: int, properties: dict[str, object]) -> None:
         """Auto-committed property merge on a node."""
@@ -242,37 +280,12 @@ class GraphDatabase:
         self._commit([{"op": "set_edge_props", "id": edge_id, "props": dict(properties)}])
 
     def snapshot(self) -> None:
-        """Write a snapshot and truncate the WAL (log compaction)."""
-        if self.path is None:
-            return
-        with self._write_lock:
-            data = {
-                "nodes": [
-                    {"id": n.node_id, "label": n.label, "props": n.properties}
-                    for n in self.graph.nodes()
-                ],
-                "edges": [
-                    {
-                        "src": e.src,
-                        "type": e.type,
-                        "dst": e.dst,
-                        "props": e.properties,
-                    }
-                    for e in self.graph.edges()
-                ],
-            }
-            tmp = self.path / (self.SNAPSHOT + ".tmp")
-            tmp.write_text(json.dumps(data))
-            tmp.replace(self.path / self.SNAPSHOT)
-            if self._wal_handle is not None:
-                self._wal_handle.close()
-            (self.path / self.WAL).write_text("")
-            self._wal_handle = (self.path / self.WAL).open("a", encoding="utf-8")
+        """Compact the engine's journal into a fresh snapshot generation."""
+        self.engine.checkpoint()
 
     def close(self) -> None:
-        if self._wal_handle is not None:
-            self._wal_handle.close()
-            self._wal_handle = None
+        if self._owns_engine:
+            self.engine.close()
 
     def __enter__(self) -> "GraphDatabase":
         return self
@@ -281,4 +294,9 @@ class GraphDatabase:
         self.close()
 
 
-__all__ = ["GraphDatabase", "Transaction", "TransactionError"]
+__all__ = [
+    "GraphDatabase",
+    "GraphParticipant",
+    "Transaction",
+    "TransactionError",
+]

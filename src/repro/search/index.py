@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.search.analyzer import analyze, analyze_query
+from repro.storage.atomic import atomic_write_text
 
 
 @dataclass
@@ -210,10 +211,18 @@ class SearchIndex:
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Serialise documents + postings to one JSON file."""
+    def clear(self) -> None:
+        """Drop every document and posting."""
         with self._lock:
-            data = {
+            self._postings.clear()
+            self._documents.clear()
+            self._doc_lengths.clear()
+            self._field_totals.clear()
+
+    def to_state(self) -> dict:
+        """JSON-safe serialisation of documents + postings."""
+        with self._lock:
+            return {
                 "documents": self._documents,
                 "postings": {
                     term: [[p.doc_id, p.field, p.positions] for p in postings]
@@ -226,24 +235,74 @@ class SearchIndex:
                 "field_totals": self._field_totals,
                 "field_boosts": self.field_boosts,
             }
-        Path(path).write_text(json.dumps(data))
+
+    def restore_state(self, data: dict) -> None:
+        """Replace this index's contents with a :meth:`to_state` payload."""
+        with self._lock:
+            self.field_boosts = dict(
+                data.get("field_boosts") or self.field_boosts
+            )
+            self._documents = {k: dict(v) for k, v in data["documents"].items()}
+            self._postings = {
+                term: [_Posting(doc_id, field_name, list(positions))
+                       for doc_id, field_name, positions in postings]
+                for term, postings in data["postings"].items()
+            }
+            self._doc_lengths = {
+                (doc, field_name): int(length)
+                for doc, field_name, length in data["doc_lengths"]
+            }
+            self._field_totals = {
+                k: int(v) for k, v in data["field_totals"].items()
+            }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "SearchIndex":
+        index = cls(field_boosts=data.get("field_boosts"))
+        index.restore_state(data)
+        return index
+
+    def save(self, path: str | Path) -> None:
+        """Serialise documents + postings to one JSON file (durably)."""
+        atomic_write_text(Path(path), json.dumps(self.to_state()))
 
     @classmethod
     def load(cls, path: str | Path) -> "SearchIndex":
-        data = json.loads(Path(path).read_text())
-        index = cls(field_boosts=data.get("field_boosts"))
-        index._documents = {k: dict(v) for k, v in data["documents"].items()}
-        index._postings = {
-            term: [_Posting(doc_id, field_name, list(positions))
-                   for doc_id, field_name, positions in postings]
-            for term, postings in data["postings"].items()
-        }
-        index._doc_lengths = {
-            (doc, field_name): int(length)
-            for doc, field_name, length in data["doc_lengths"]
-        }
-        index._field_totals = {k: int(v) for k, v in data["field_totals"].items()}
-        return index
+        return cls.from_state(json.loads(Path(path).read_text()))
 
 
-__all__ = ["SearchHit", "SearchIndex"]
+class SearchIndexParticipant:
+    """The search index's storage-engine adapter.
+
+    Journal ops are incremental document deltas -- ``add`` (doc id +
+    full field map) and ``remove`` -- replacing the old
+    save-everything-at-exit persistence, so every pipeline batch's index
+    changes are durable the moment the batch commits.
+    """
+
+    name = "search"
+
+    def __init__(self, index: SearchIndex | None = None):
+        self.index = index if index is not None else SearchIndex()
+
+    def apply(self, ops: list[dict]) -> None:
+        for op in ops:
+            kind = op["op"]
+            if kind == "add":
+                self.index.add(op["doc_id"], op["fields"])
+            elif kind == "remove":
+                self.index.remove(op["doc_id"])
+            else:  # pragma: no cover - corrupted journal
+                raise ValueError(f"unknown search operation {kind!r}")
+
+    def snapshot_data(self) -> dict:
+        return self.index.to_state()
+
+    def load_snapshot(self, data: dict) -> None:
+        self.index.restore_state(data)
+
+    def reset(self) -> None:
+        self.index.clear()
+
+
+__all__ = ["SearchHit", "SearchIndex", "SearchIndexParticipant"]

@@ -16,6 +16,8 @@ from __future__ import annotations
 import html
 from pathlib import Path
 
+from repro.storage.atomic import atomic_write_text
+
 #: Label -> fill colour.  Reports are muted, concepts saturated, IOCs cool.
 LABEL_COLORS: dict[str, str] = {
     "Malware": "#d64550",
@@ -135,7 +137,7 @@ def render_svg(
 def save_svg(snapshot: dict, path: str | Path, **kwargs) -> Path:
     """Render and write an SVG file; returns the path."""
     path = Path(path)
-    path.write_text(render_svg(snapshot, **kwargs), encoding="utf-8")
+    atomic_write_text(path, render_svg(snapshot, **kwargs))
     return path
 
 

@@ -364,6 +364,84 @@ class TestSerializabilityRule:
         assert findings == []
 
 
+class TestAtomicWriteRule:
+    def test_path_replace_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from pathlib import Path
+
+            def save(path: Path, text: str) -> None:
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(text)
+                tmp.replace(path)
+            """,
+        )
+        assert rules(findings) == ["store/raw-atomic-write"]
+
+    def test_os_replace_and_rename_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import os
+
+            def save(a, b, c, d):
+                os.replace(a, b)
+                os.rename(c, d)
+            """,
+        )
+        assert rules(findings) == ["store/raw-atomic-write"] * 2
+
+    def test_shutil_move_and_from_import_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import shutil
+            from os import replace
+
+            def save(a, b, c, d):
+                shutil.move(a, b)
+                replace(c, d)
+            """,
+        )
+        assert rules(findings) == ["store/raw-atomic-write"] * 2
+
+    def test_str_replace_not_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def clean(text: str) -> str:
+                return text.replace("a", "b")
+            """,
+        )
+        assert rules(findings) == []
+
+    def test_storage_package_sanctioned(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import os
+
+            def commit(tmp, path):
+                os.replace(tmp, path)
+            """,
+            name="repro/storage/atomic.py",
+        )
+        assert rules(findings) == []
+
+    def test_suppression_applies(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import os
+
+            def save(a, b):
+                os.replace(a, b)  # repro: allow[raw-atomic-write]
+            """,
+        )
+        assert rules(findings) == []
+
+
 class TestSuppression:
     def test_same_line_suppression(self, tmp_path):
         findings = lint_source(

@@ -96,6 +96,44 @@ class TestRunAndQuery:
         assert "listening on http" in output
 
 
+class TestCrashResume:
+    """A killed `run` resumes mid-batch with the same --state."""
+
+    VIRTUAL = (*SMALL, "--clock", "virtual")
+
+    def test_crash_exits_3_and_resume_converges(self, tmp_path):
+        reference = tmp_path / "reference"
+        code, _ = run_cli("run", "--state", str(reference), *self.VIRTUAL)
+        assert code == 0
+        _, expected_stats = run_cli("stats", "--state", str(reference), *self.VIRTUAL)
+
+        crashed = tmp_path / "crashed"
+        code, output = run_cli(
+            "run", "--state", str(crashed), *self.VIRTUAL,
+            "--crash-at", "commit.after-fsync", "--crash-at-hit", "2",
+        )
+        assert code == 3
+        assert "simulated crash at 'commit.after-fsync'" in output
+
+        code, output = run_cli("run", "--state", str(crashed), *self.VIRTUAL)
+        assert code == 0
+        assert "state saved" in output
+        _, resumed_stats = run_cli("stats", "--state", str(crashed), *self.VIRTUAL)
+        assert resumed_stats == expected_stats
+
+    def test_crash_during_checkpoint_keeps_state(self, tmp_path):
+        state = tmp_path / "state"
+        code, output = run_cli(
+            "run", "--state", str(state), *self.VIRTUAL,
+            "--crash-at", "checkpoint.torn-manifest",
+        )
+        assert code == 3
+        # every report committed before the checkpoint died; nothing to redo
+        code, output = run_cli("run", "--state", str(state), *self.VIRTUAL)
+        assert code == 0
+        assert "crawled 0 reports" in output
+
+
 class TestStandalone:
     def test_config_prints_defaults(self):
         code, output = run_cli("config")

@@ -171,7 +171,8 @@ class TestDurability:
             for i in range(10):
                 db.create_node("N", {"name": f"n{i}"})
             db.snapshot()
-            assert (path / GraphDatabase.WAL).read_text() == ""
+            # compaction starts a fresh (empty) journal generation
+            assert db.engine.journal_path.read_text() == ""
             db.create_node("N", {"name": "post-snapshot"})
         with GraphDatabase(path) as reopened:
             assert reopened.graph.node_count == 11
@@ -192,10 +193,10 @@ class TestDurability:
         with GraphDatabase(path) as db:
             db.create_node("N", {"name": "a"})
             db.create_node("N", {"name": "b"})
+            journal = db.engine.journal_path
         # simulate a crash mid-append: half a JSON record at the tail
-        wal = path / GraphDatabase.WAL
-        with wal.open("a") as handle:
-            handle.write('{"ops": [{"op": "create_node", "ref": -1, "la')
+        with journal.open("a") as handle:
+            handle.write('{"seq": 3, "ops": {"graph": [[{"op": "create_no')
         with GraphDatabase(path) as reopened:
             assert reopened.graph.node_count == 2
             # the torn tail was truncated; new writes land cleanly
