@@ -33,6 +33,13 @@ concurrency invariants the deterministic-replay pipeline depends on
 ``ser/unserializable-field``
     Dataclass fields in ``ontology/intermediate.py`` (the pipelined
     hand-off records) whose annotated type is not JSON-safe.
+``obs/untraced-stage``
+    In ``core/pipeline.py``: a pipeline stage invocation (a call through
+    a ``.fn`` attribute) not lexically inside a ``with ...span...:``
+    block.  Every stage must run under a tracer span -- the no-op
+    tracer makes the span free, so there is no fast-path excuse -- or
+    operators lose the per-stage timing the observability layer
+    promises (OBSERVABILITY.md).
 ``store/raw-atomic-write``
     File renames outside ``repro/storage/`` -- ``Path.replace(target)``,
     ``os.replace`` / ``os.rename``, ``shutil.move``.  A bare
@@ -75,6 +82,8 @@ RAW_SLEEP_SANCTIONED = ("runtime/clock.py",)
 CONCURRENCY_SUFFIXES = ("crawlers/engine.py", "core/pipeline.py")
 #: Files whose dataclasses must stay JSON-serialisable (pipeline hand-offs).
 SERIALIZABLE_SUFFIXES = ("ontology/intermediate.py",)
+#: Files whose stage invocations must run under a tracer span.
+OBS_STAGE_SUFFIXES = ("core/pipeline.py",)
 #: The sanctioned home of raw file renames: the atomic-write helpers.
 ATOMIC_WRITE_SANCTIONED = "repro/storage/"
 
@@ -174,6 +183,8 @@ class _FileLint:
             self._check_concurrency(tree)
         if _has_suffix(self.path, SERIALIZABLE_SUFFIXES):
             self._check_serializability(tree)
+        if _has_suffix(self.path, OBS_STAGE_SUFFIXES):
+            self._check_traced_stages(tree)
         return self.findings
 
     # -- determinism -------------------------------------------------------
@@ -516,6 +527,47 @@ class _FileLint:
             target,
         )
 
+    # -- observability -----------------------------------------------------
+
+    def _check_traced_stages(self, tree: ast.Module) -> None:
+        """Every ``stage.fn(...)`` call must sit under a span context."""
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in node.body:
+                    self._scan_trace_stmt(stmt, traced=False)
+
+    def _scan_trace_stmt(self, node: ast.stmt, traced: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are scanned as their own roots
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = traced or any(
+                _mentions_span(item.context_expr) for item in node.items
+            )
+            for stmt in node.body:
+                self._scan_trace_stmt(stmt, inner)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._scan_trace_stmt(child, traced)
+            elif isinstance(child, ast.expr) and not traced:
+                self._flag_untraced_fn_calls(child)
+
+    def _flag_untraced_fn_calls(self, expr: ast.expr) -> None:
+        for call in ast.walk(expr):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "fn"
+            ):
+                self.add(
+                    "obs/untraced-stage",
+                    "pipeline stage runs outside a tracer span; wrap the "
+                    "stage.fn(...) call in 'with "
+                    "obs.tracer.span(stage.name):' so per-stage timing "
+                    "reaches the trace",
+                    call,
+                )
+
     # -- serializability ---------------------------------------------------
 
     def _check_serializability(self, tree: ast.Module) -> None:
@@ -638,6 +690,18 @@ def _mentions_lock(expr: ast.expr) -> bool:
         elif isinstance(node, ast.Attribute):
             name = node.attr
         if name is not None and "lock" in name.lower():
+            return True
+    return False
+
+
+def _mentions_span(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and "span" in name.lower():
             return True
     return False
 

@@ -46,8 +46,23 @@ class GraphStats:
         return "\n".join(lines)
 
 
-def compute_stats(graph: PropertyGraph, top_k: int = 10) -> GraphStats:
-    """Compute the statistics snapshot for a graph."""
+def _gauge_labels(series: dict[str, float]) -> dict[str, int]:
+    """``{"label=Malware": 12.0}`` -> ``{"Malware": 12}``."""
+    return {
+        key.split("=", 1)[1]: int(value) for key, value in series.items()
+    }
+
+
+def compute_stats(
+    graph: PropertyGraph, top_k: int = 10, metrics: dict | None = None
+) -> GraphStats:
+    """Compute the statistics snapshot for a graph.
+
+    When a metrics snapshot (``SystemReport.metrics`` or the
+    ``/metrics`` endpoint payload) carries the ``graph.*`` gauges, the
+    size/label/edge-type tallies are read from it instead of being
+    recomputed; only the degree rankings still walk the graph.
+    """
     degrees = [
         (node.label, str(node.properties.get("name", "")), graph.degree(node.node_id))
         for node in graph.nodes()
@@ -56,11 +71,22 @@ def compute_stats(graph: PropertyGraph, top_k: int = 10) -> GraphStats:
     histogram: dict[int, int] = {}
     for _label, _name, degree in degrees:
         histogram[degree] = histogram.get(degree, 0) + 1
+    gauges = (metrics or {}).get("gauges", {})
+    if "graph.nodes" in gauges:
+        nodes = int(gauges["graph.nodes"].get("", 0))
+        edges = int(gauges.get("graph.edges", {}).get("", 0))
+        labels = _gauge_labels(gauges.get("graph.nodes_by_label", {}))
+        edge_types = _gauge_labels(gauges.get("graph.edges_by_type", {}))
+    else:
+        nodes = graph.node_count
+        edges = graph.edge_count
+        labels = graph.label_counts()
+        edge_types = graph.edge_type_counts()
     return GraphStats(
-        nodes=graph.node_count,
-        edges=graph.edge_count,
-        labels=graph.label_counts(),
-        edge_types=graph.edge_type_counts(),
+        nodes=nodes,
+        edges=edges,
+        labels=labels,
+        edge_types=edge_types,
         top_entities=degrees[:top_k],
         degree_histogram=dict(sorted(histogram.items())),
     )

@@ -3,6 +3,8 @@
 Drives the whole system from a shell::
 
     python -m repro run --scenarios 12 --reports-per-site 4 --state ./kgdata
+    python -m repro run --clock virtual --trace trace.jsonl --metrics
+    python -m repro stats --from-trace trace.jsonl [--report rpt-...]
     python -m repro search  --state ./kgdata "agent tesla"
     python -m repro cypher  --state ./kgdata 'MATCH (m:Malware) RETURN m.name'
     python -m repro stats   --state ./kgdata
@@ -21,6 +23,7 @@ commit, and a run killed mid-batch resumes exactly where it stopped
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -31,6 +34,14 @@ from repro.storage.faults import CRASH_POINTS, CrashInjector, InjectedCrash
 
 #: exit code of a ``run`` killed by an injected crash (recovery tests)
 EXIT_CRASHED = 3
+
+
+def _wants_obs(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", False)
+        or getattr(args, "metrics_out", None)
+    )
 
 
 def build_system(args: argparse.Namespace) -> SecurityKG:
@@ -53,7 +64,38 @@ def build_system(args: argparse.Namespace) -> SecurityKG:
     crash_at = getattr(args, "crash_at", None)
     if crash_at:
         faults = CrashInjector(crash_at, at_hit=getattr(args, "crash_at_hit", 1))
-    return SecurityKG(config, faults=faults)
+    clock = None
+    obs = None
+    if _wants_obs(args):
+        # Build the clock here so tracer timestamps share the system's
+        # (possibly virtual) timeline.
+        from repro.obs import make_obs
+        from repro.runtime import clock_from_name
+
+        clock = clock_from_name(config.clock)
+        obs = make_obs(clock)
+    return SecurityKG(config, clock=clock, faults=faults, obs=obs)
+
+
+def _emit_observability(system: SecurityKG, args: argparse.Namespace, out) -> None:
+    """Honour ``--trace`` / ``--metrics`` / ``--metrics-out``."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        system.obs.tracer.write_jsonl(Path(trace_path))
+        spans = len(system.obs.tracer.export())
+        print(f"wrote {spans} spans to {trace_path}", file=out)
+    snapshot = None
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        snapshot = system.obs.metrics.snapshot()
+        atomic_write_text(
+            Path(metrics_out),
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        )
+        print(f"wrote metrics snapshot to {metrics_out}", file=out)
+    if getattr(args, "metrics", False):
+        snapshot = snapshot or system.obs.metrics.snapshot()
+        print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
 
 
 def cmd_run(args: argparse.Namespace, out) -> int:
@@ -70,7 +112,10 @@ def cmd_run(args: argparse.Namespace, out) -> int:
             "rerun with the same --state to resume",
             file=out,
         )
+        # the trace of a crashed run is exactly what an operator wants
+        _emit_observability(system, args, out)
         return EXIT_CRASHED
+    _emit_observability(system, args, out)
     system.close()
     return 0
 
@@ -130,10 +175,22 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
 
 
 def cmd_stats(args: argparse.Namespace, out) -> int:
+    if getattr(args, "from_trace", None):
+        # Offline path: summarise a trace written by ``run --trace``
+        # without opening any state directory.
+        from repro.obs.summary import load_trace, render_report_trees, summarize
+
+        spans = load_trace(Path(args.from_trace))
+        if getattr(args, "report", None):
+            print(render_report_trees(spans, args.report), file=out)
+        else:
+            print(summarize(spans), file=out)
+        return 0
     from repro.apps.stats import compute_stats
 
     system = build_system(args)
-    print(compute_stats(system.graph).describe(), file=out)
+    metrics = system.obs.metrics.snapshot() if system.obs.enabled else None
+    print(compute_stats(system.graph, metrics=metrics).describe(), file=out)
     return 0
 
 
@@ -243,8 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
             "virtual time (instant, deterministic crawls)",
         )
 
+    def obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            help="write a span trace (JSONL) of the run; with --clock "
+            "virtual the file is byte-identical across identical runs",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print the metrics snapshot as JSON after the run",
+        )
+        p.add_argument(
+            "--metrics-out",
+            help="write the metrics snapshot to a JSON file",
+        )
+
     p = sub.add_parser("run", help="one collect-process-store cycle")
     common(p)
+    obs_flags(p)
     p.add_argument("--max-articles", type=int, default=None)
     p.add_argument("--recognizer", choices=("gazetteer", "regex", "crf"),
                    default="gazetteer")
@@ -274,6 +348,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="knowledge-graph statistics")
     common(p)
+    p.add_argument(
+        "--from-trace",
+        dest="from_trace",
+        help="summarise a trace JSONL written by `run --trace` "
+        "instead of querying a graph",
+    )
+    p.add_argument(
+        "--report",
+        help="with --from-trace: show the span trees of spans whose "
+        "attributes match this substring (report id, URL, source)",
+    )
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("fuse", help="run the knowledge-fusion stage")

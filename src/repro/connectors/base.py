@@ -13,6 +13,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro.obs import NO_OBS
 from repro.ontology.intermediate import CTIRecord
 
 
@@ -43,13 +44,37 @@ class Connector(abc.ABC):
 
     def __init__(self):
         self.total = IngestStats()
+        #: observability bundle; the owning system replaces this with
+        #: its own so per-record ingests are traced and counted
+        self.obs = NO_OBS
 
     @abc.abstractmethod
     def ingest(self, records: list[CTIRecord]) -> IngestStats:
         """Merge a batch of records into the backend store."""
 
     def ingest_one(self, record: CTIRecord) -> IngestStats:
-        return self.ingest([record])
+        with self.obs.tracer.span(
+            "store.ingest", connector=self.name, report=record.report_id
+        ):
+            stats = self.ingest([record])
+        metrics = self.obs.metrics
+        metrics.inc(
+            "store.entities", stats.entities_created,
+            connector=self.name, op="created",
+        )
+        metrics.inc(
+            "store.entities", stats.entities_merged,
+            connector=self.name, op="merged",
+        )
+        metrics.inc(
+            "store.relations", stats.relations_created,
+            connector=self.name, op="created",
+        )
+        metrics.inc(
+            "store.relations", stats.relations_merged,
+            connector=self.name, op="merged",
+        )
+        return stats
 
     def flush(self) -> None:
         """Make all ingested data durable (no-op by default)."""

@@ -16,6 +16,7 @@ from typing import Protocol
 from repro.nlp.baselines import GazetteerRecognizer
 from repro.nlp.relation import RelationExtractor
 from repro.nlp.tokenize import Sentence
+from repro.obs import NO_OBS, Obs
 from repro.ontology.intermediate import CTIRecord, Mention
 
 
@@ -33,35 +34,51 @@ class Extractor:
         recognizer: Recognizer | None = None,
         relation_extractor: RelationExtractor | None = None,
         min_confidence: float = 0.3,
+        obs: Obs | None = None,
     ):
         self.recognizer = recognizer or GazetteerRecognizer()
         self.relations = relation_extractor or RelationExtractor()
         self.min_confidence = min_confidence
+        self.obs = obs if obs is not None else NO_OBS
 
     def extract(self, record: CTIRecord) -> CTIRecord:
         """Refine one record in place (and return it)."""
         text = record.text
         if text.strip():
-            sentences, mentions = self.recognizer.extract(text)
+            metrics = self.obs.metrics
+            with self.obs.tracer.span(
+                "extract.ner", report=record.report_id
+            ) as ner_span:
+                sentences, mentions = self.recognizer.extract(text)
+                ner_span.set("mentions", len(mentions))
             existing = {(m.text.lower(), m.type) for m in record.mentions}
             for mention in mentions:
                 if mention.confidence < self.min_confidence:
                     continue
                 if mention.type.is_ioc:
                     record.add_ioc(mention.type, mention.text)
+                    metrics.inc("extract.iocs", type=mention.type.value)
                     continue
                 if (mention.text.lower(), mention.type) not in existing:
                     record.mentions.append(mention)
                     existing.add((mention.text.lower(), mention.type))
-            for index, sentence in enumerate(sentences):
-                sentence_mentions = [
-                    m for m in mentions if m.sentence_index == index
-                ]
-                record.relations.extend(
-                    self.relations.extract_with_mentions(
-                        sentence.tokens, sentence_mentions, index
+                    metrics.inc("extract.entities", type=mention.type.value)
+            with self.obs.tracer.span(
+                "extract.relation", report=record.report_id
+            ) as rel_span:
+                before = len(record.relations)
+                for index, sentence in enumerate(sentences):
+                    sentence_mentions = [
+                        m for m in mentions if m.sentence_index == index
+                    ]
+                    record.relations.extend(
+                        self.relations.extract_with_mentions(
+                            sentence.tokens, sentence_mentions, index
+                        )
                     )
-                )
+                rel_span.set("relations", len(record.relations) - before)
+            for relation in record.relations[before:]:
+                metrics.inc("extract.relations", verb=relation.verb)
         return record
 
     def extract_all(self, records: list[CTIRecord]) -> list[CTIRecord]:

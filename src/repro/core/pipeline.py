@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import NO_OBS, Obs
 from repro.runtime import REAL_CLOCK, Clock, Stopwatch
 
 #: A stage function maps one item to one item, or None to filter it out.
@@ -95,6 +96,12 @@ class Pipeline:
     Stage workers never sleep, so they are not registered with the
     clock; under a virtual clock all timings read as ~0 (the stages are
     CPU-bound, and virtual time only models waiting).
+
+    Every stage execution runs under a tracer span named after the
+    stage (see :meth:`_run_stage`; the ``obs/untraced-stage`` lint rule
+    enforces this), carrying the item's correlation key when
+    ``item_key`` is given.  With the default :data:`~repro.obs.NO_OBS`
+    the span is a shared no-op.
     """
 
     def __init__(
@@ -102,15 +109,38 @@ class Pipeline:
         stages: list[Stage],
         queue_size: int = 128,
         clock: Clock | None = None,
+        obs: Obs | None = None,
+        item_key: Callable[[object], "str | None"] | None = None,
     ):
         if not stages:
             raise ValueError("pipeline needs at least one stage")
         self.stages = list(stages)
         self.queue_size = queue_size
         self.clock = clock if clock is not None else REAL_CLOCK
+        self.obs = obs if obs is not None else NO_OBS
+        self.item_key = item_key
+
+    def _run_stage(self, stage: Stage, decoder: Codec | None, item, parent):
+        """One item through one stage, under the stage's tracer span."""
+        with self.obs.tracer.span(stage.name, parent=parent) as span:
+            if decoder is not None:
+                item = decoder.decode(item)
+            if self.item_key is not None:
+                key = self.item_key(item)
+                if key:
+                    span.set("report", key)
+            result = stage.fn(item)
+            if result is not None and stage.codec is not None:
+                result = stage.codec.encode(result)
+            return result
 
     def run(self, items: list[object]) -> PipelineResult:
         """Process ``items``; blocks until every stage drains."""
+        run_span = self.obs.tracer.span("pipeline", items=len(items))
+        with run_span:
+            return self._run(items, run_span)
+
+    def _run(self, items: list[object], run_span) -> PipelineResult:
         queues = [
             queue.Queue(maxsize=self.queue_size)
             for _ in range(len(self.stages) + 1)
@@ -149,23 +179,33 @@ class Pipeline:
                         return
                     begin = self.clock.now()
                     try:
-                        if decoder is not None:
-                            item = decoder.decode(item)
-                        result = stage.fn(item)
-                        if result is not None and stage.codec is not None:
-                            result = stage.codec.encode(result)
+                        result = self._run_stage(stage, decoder, item, run_span)
                     except Exception as error:  # noqa: BLE001 - stage isolation
-                        stage_stats.record(
-                            self.clock.now() - begin, filtered=False, error=True
+                        elapsed = self.clock.now() - begin
+                        stage_stats.record(elapsed, filtered=False, error=True)
+                        self.obs.metrics.inc(
+                            "pipeline.items", stage=stage.name, outcome="error"
+                        )
+                        self.obs.metrics.observe(
+                            "pipeline.stage_seconds", elapsed, stage=stage.name
                         )
                         with errors_lock:
                             errors.append((stage.name, f"{type(error).__name__}: {error}"))
                         continue
                     elapsed = self.clock.now() - begin
+                    self.obs.metrics.observe(
+                        "pipeline.stage_seconds", elapsed, stage=stage.name
+                    )
                     if result is None:
                         stage_stats.record(elapsed, filtered=True, error=False)
+                        self.obs.metrics.inc(
+                            "pipeline.items", stage=stage.name, outcome="filtered"
+                        )
                     else:
                         stage_stats.record(elapsed, filtered=False, error=False)
+                        self.obs.metrics.inc(
+                            "pipeline.items", stage=stage.name, outcome="ok"
+                        )
                         out_queue.put(result)
 
             for worker_index in range(stage.workers):

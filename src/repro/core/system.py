@@ -38,6 +38,7 @@ from repro.fusion.fuse import FusionReport, KnowledgeFusion
 from repro.graphdb.cypher.executor import CypherEngine, ResultRow
 from repro.graphdb.wal import GraphDatabase, GraphParticipant
 from repro.nlp.baselines import GazetteerRecognizer, RegexRecognizer
+from repro.obs import NO_OBS, Obs
 from repro.ontology.intermediate import CTIRecord, ReportRecord
 from repro.runtime import Clock, clock_from_name
 from repro.search.index import SearchHit, SearchIndexParticipant
@@ -60,6 +61,9 @@ class SystemReport:
     ingest: dict[str, IngestStats] = field(default_factory=dict)
     pipeline_elapsed: float = 0.0
     pipeline_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: metrics snapshot taken at the end of the cycle (empty shape when
+    #: the system runs with the default no-op observability bundle)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def reports_per_minute(self) -> float:
@@ -109,6 +113,13 @@ class SecurityKG:
     faults:
         Optional :class:`~repro.storage.CrashInjector` forwarded to the
         storage engine (recovery tests and the E18 benchmark).
+    obs:
+        Observability bundle (tracer + metrics registry) threaded
+        through every layer -- crawl engine, pipeline, extractor,
+        storage engine, connectors.  Defaults to the no-op
+        :data:`~repro.obs.NO_OBS`; build a live one with
+        :func:`repro.obs.make_obs`, sharing this system's clock so
+        spans land on the same timeline as the work they measure.
     """
 
     def __init__(
@@ -118,11 +129,13 @@ class SecurityKG:
         recognizer=None,
         clock: Clock | None = None,
         faults=None,
+        obs: Obs | None = None,
     ):
         self.config = config or SystemConfig()
         self.clock = (
             clock if clock is not None else clock_from_name(self.config.clock)
         )
+        self.obs = obs if obs is not None else NO_OBS
         self.web = web or build_default_web(
             scenario_count=self.config.scenario_count,
             reports_per_site=self.config.reports_per_site,
@@ -145,14 +158,15 @@ class SecurityKG:
             if "sql" in (self.config.connectors or []):
                 participants.append(SQLParticipant())
             self.engine = StorageEngine(
-                self.config.storage_path, participants, faults=faults
+                self.config.storage_path, participants, faults=faults,
+                obs=self.obs,
             )
             self.state = CrawlState(engine=self.engine)
         else:
             # Standalone mode: stores persist (or not) independently;
             # an in-memory engine still tracks ingest markers so
             # re-processed reports are never double-counted in-session.
-            self.engine = StorageEngine(None, [], faults=faults)
+            self.engine = StorageEngine(None, [], faults=faults, obs=self.obs)
             self.state = CrawlState(self.config.crawl_state_path)
         self.porter = Porter()
         checks = default_checks()
@@ -162,6 +176,7 @@ class SecurityKG:
         self.extractor = Extractor(
             recognizer=recognizer or self._build_recognizer(),
             min_confidence=self.config.recognizer_min_confidence,
+            obs=self.obs,
         )
 
         if self.config.storage_path is not None:
@@ -170,7 +185,9 @@ class SecurityKG:
             self.database = GraphDatabase(self.config.graph_path)
         self.connectors: dict[str, Connector] = {}
         for name in self.config.connectors:
-            self.connectors[name] = self._build_connector(name)
+            connector = self._build_connector(name)
+            connector.obs = self.obs
+            self.connectors[name] = connector
         self.fusion = KnowledgeFusion()
         self._cypher = CypherEngine(self.database.graph)
         self._last_skipped = 0
@@ -238,11 +255,12 @@ class SecurityKG:
         crawlers = build_all_crawlers(self.config.sources)
         engine = CrawlEngine(
             crawlers,
-            Fetcher(self.transport),
+            Fetcher(self.transport, obs=self.obs),
             num_threads=self.config.crawl_threads,
             state=self.state,
             max_articles=max_articles or self.config.max_articles,
             clock=self.clock,
+            obs=self.obs,
         )
         return engine.crawl()
 
@@ -278,6 +296,8 @@ class SecurityKG:
                 ),
             ],
             clock=self.clock,
+            obs=self.obs,
+            item_key=lambda item: getattr(item, "report_id", None),
         )
         result = pipeline.run(reports)
         return list(result.outputs), result
@@ -297,31 +317,40 @@ class SecurityKG:
             name: IngestStats() for name in self.connectors
         }
         skipped = 0
-        for record in records:
-            if self.engine.is_ingested(record.report_id):
-                skipped += 1
-                continue
-            with self.engine.transaction() as tx:
-                for name, connector in self.connectors.items():
-                    totals[name] += connector.ingest_one(record)
-                tx.adopt_staged(CrawlParticipant.name, [record.url])
-                tx.mark_ingested(record.report_id)
-        self.engine.flush()
+        with self.obs.tracer.span("store", records=len(records)):
+            for record in records:
+                if self.engine.is_ingested(record.report_id):
+                    skipped += 1
+                    continue
+                with self.engine.transaction() as tx:
+                    for name, connector in self.connectors.items():
+                        totals[name] += connector.ingest_one(record)
+                    tx.adopt_staged(CrawlParticipant.name, [record.url])
+                    tx.mark_ingested(record.report_id)
+            self.engine.flush()
+        self.obs.metrics.inc("storage.reports_skipped", skipped)
         self._last_skipped = skipped
         return totals
 
     def run_once(self, max_articles: int | None = None) -> SystemReport:
         """One full collect -> process -> store cycle."""
-        crawl_result = self.crawl(max_articles=max_articles)
-        ported = self.porter.port(crawl_result.documents)
-        check_report = self.checker.filter(ported)
-        records, pipeline_result = self.process(check_report.passed)
-        ingest = self.store(records)
+        with self.obs.tracer.span("run") as run_span:
+            crawl_result = self.crawl(max_articles=max_articles)
+            ported = self.porter.port(crawl_result.documents)
+            check_report = self.checker.filter(ported)
+            records, pipeline_result = self.process(check_report.passed)
+            ingest = self.store(records)
 
-        reasons: dict[str, int] = {}
-        for _record, reason in check_report.rejected:
-            reasons[reason] = reasons.get(reason, 0) + 1
-        skipped = self._last_skipped
+            reasons: dict[str, int] = {}
+            for _record, reason in check_report.rejected:
+                reasons[reason] = reasons.get(reason, 0) + 1
+            for reason in sorted(reasons):
+                self.obs.metrics.inc(
+                    "pipeline.reports_rejected", reasons[reason], reason=reason
+                )
+            skipped = self._last_skipped
+            self._update_graph_gauges()
+            run_span.set("reports_stored", len(records) - skipped)
         return SystemReport(
             crawl=crawl_result,
             reports_ported=len(ported),
@@ -332,11 +361,31 @@ class SecurityKG:
             ingest=ingest,
             pipeline_elapsed=pipeline_result.elapsed,
             pipeline_errors=list(pipeline_result.errors),
+            metrics=self.obs.metrics.snapshot(),
         )
 
     def run_fusion(self) -> FusionReport:
         """Off-pipeline knowledge fusion over the stored graph."""
-        return self.fusion.run(self.database.graph)
+        with self.obs.tracer.span("fuse") as span:
+            report = self.fusion.run(self.database.graph)
+            span.set("groups_merged", report.groups_merged)
+        self.obs.metrics.inc("fusion.groups_merged", report.groups_merged)
+        self.obs.metrics.inc("fusion.aliases_resolved", report.aliases_resolved)
+        self._update_graph_gauges()
+        return report
+
+    def _update_graph_gauges(self) -> None:
+        """Refresh the graph-size gauges (skipped when metrics are off)."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        graph = self.graph
+        metrics.set_gauge("graph.nodes", graph.node_count)
+        metrics.set_gauge("graph.edges", graph.edge_count)
+        for label, count in graph.label_counts().items():
+            metrics.set_gauge("graph.nodes_by_label", count, label=label)
+        for edge_type, count in graph.edge_type_counts().items():
+            metrics.set_gauge("graph.edges_by_type", count, type=edge_type)
 
     # -- applications -----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.crawlers.fetcher import FetchDenied, FetchFailed, Fetcher
 from repro.crawlers.frontier import Frontier
 from repro.crawlers.state import CrawlState
 from repro.htmlparse import parse
+from repro.obs import NO_OBS, Obs
 from repro.runtime import REAL_CLOCK, Clock, Stopwatch
 
 
@@ -77,6 +78,7 @@ class CrawlEngine:
         state: CrawlState | None = None,
         max_articles: int | None = None,
         clock: Clock | None = None,
+        obs: Obs | None = None,
     ):
         self.crawlers = list(crawlers)
         self.fetcher = fetcher
@@ -88,6 +90,7 @@ class CrawlEngine:
             if clock is not None
             else getattr(fetcher, "clock", None) or REAL_CLOCK
         )
+        self.obs = obs if obs is not None else NO_OBS
         self._by_host = {crawler.host: crawler for crawler in self.crawlers}
         self._result_lock = threading.Lock()
 
@@ -96,7 +99,13 @@ class CrawlEngine:
 
     def crawl(self) -> CrawlResult:
         """Run until the frontier drains (or ``max_articles`` reached)."""
-        frontier = Frontier(clock=self.clock)
+        with self.obs.tracer.span(
+            "crawl", sources=len(self.crawlers), threads=self.num_threads
+        ) as crawl_span:
+            return self._crawl(crawl_span)
+
+    def _crawl(self, crawl_span) -> CrawlResult:
+        frontier = Frontier(clock=self.clock, obs=self.obs)
         result = CrawlResult()
         stop = threading.Event()
         for crawler in self.crawlers:
@@ -134,7 +143,7 @@ class CrawlEngine:
                     if url is None:
                         return
                     try:
-                        self._process(url, frontier, result, emit, stop)
+                        self._process(url, frontier, result, emit, stop, crawl_span)
                     finally:
                         frontier.task_done()
 
@@ -172,69 +181,88 @@ class CrawlEngine:
         result: CrawlResult,
         emit,
         stop: threading.Event,
+        crawl_span=None,
     ) -> None:
         crawler = self._crawler_for(url)
         if crawler is None:
             return
-        try:
-            response = self.fetcher.fetch(url)
-        except FetchDenied:
+        source = crawler.site_name
+        metrics = self.obs.metrics
+        # The worker thread has no span context of its own, so the
+        # crawl span is passed in as the explicit parent.
+        with self.obs.tracer.span(
+            "crawl.fetch", parent=crawl_span, url=url, source=source
+        ) as span:
+            try:
+                response = self.fetcher.fetch(url)
+            except FetchDenied:
+                span.set("outcome", "denied")
+                metrics.inc("crawl.denied", source=source)
+                with self._result_lock:
+                    result.denied.append(url)
+                return
+            except FetchFailed as error:
+                span.set("outcome", "failed")
+                metrics.inc("crawl.errors", source=source)
+                with self._result_lock:
+                    result.errors.append((url, str(error)))
+                return
+            if not response.ok:
+                span.set("outcome", f"http-{response.status}")
+                metrics.inc("crawl.errors", source=source)
+                with self._result_lock:
+                    result.errors.append((url, f"http {response.status}"))
+                return
+            span.set("outcome", "ok")
+            metrics.inc("crawl.pages", source=source)
             with self._result_lock:
-                result.denied.append(url)
-            return
-        except FetchFailed as error:
-            with self._result_lock:
-                result.errors.append((url, str(error)))
-            return
-        if not response.ok:
-            with self._result_lock:
-                result.errors.append((url, f"http {response.status}"))
-            return
-        with self._result_lock:
-            result.pages_fetched += 1
+                result.pages_fetched += 1
 
-        kind = crawler.classify(url)
-        doc = parse(response.body)
-        if kind == "index":
-            links = crawler.extract_article_links(url, doc)
-            if self.state is not None:
-                links = [link for link in links if not self.state.is_seen(link)]
-            frontier.add_all(links)
-            next_index = crawler.extract_next_index(url, doc)
-            if next_index:
-                frontier.add(next_index)
-        elif kind in ("article", "continuation"):
-            page_no = crawler.page_no(url)
-            group = crawler.group_url(url)
-            if page_no == 1 and self.state is not None:
-                if not self.state.mark_seen(group):
-                    return
-            accepted, keep_going = emit(
-                RawDocument(
-                    url=url,
-                    source=crawler.site_name,
-                    html=response.body,
-                    fetched_at=self.clock.now(),
-                    group_url=group,
-                    page_no=page_no,
-                )
-            )
-            if not accepted:
-                # the cap dropped this document; let a future crawl
-                # collect it
+            kind = crawler.classify(url)
+            span.set("kind", kind)
+            doc = parse(response.body)
+            if kind == "index":
+                links = crawler.extract_article_links(url, doc)
+                if self.state is not None:
+                    links = [link for link in links if not self.state.is_seen(link)]
+                frontier.add_all(links)
+                next_index = crawler.extract_next_index(url, doc)
+                if next_index:
+                    frontier.add(next_index)
+            elif kind in ("article", "continuation"):
+                page_no = crawler.page_no(url)
+                group = crawler.group_url(url)
                 if page_no == 1 and self.state is not None:
-                    self.state.unmark(group)
-                stop.set()
-                frontier.close()
-                return
-            if not keep_going:
-                stop.set()
-                frontier.close()
-                return
-            if page_no == 1:
-                continuation = crawler.extract_continuation(url, doc)
-                if continuation:
-                    frontier.add(continuation, priority=True)
+                    if not self.state.mark_seen(group):
+                        return
+                accepted, keep_going = emit(
+                    RawDocument(
+                        url=url,
+                        source=source,
+                        html=response.body,
+                        fetched_at=self.clock.now(),
+                        group_url=group,
+                        page_no=page_no,
+                    )
+                )
+                if not accepted:
+                    # the cap dropped this document; let a future crawl
+                    # collect it
+                    if page_no == 1 and self.state is not None:
+                        self.state.unmark(group)
+                    stop.set()
+                    frontier.close()
+                    return
+                if page_no == 1:
+                    metrics.inc("crawl.reports", source=source)
+                if not keep_going:
+                    stop.set()
+                    frontier.close()
+                    return
+                if page_no == 1:
+                    continuation = crawler.extract_continuation(url, doc)
+                    if continuation:
+                        frontier.add(continuation, priority=True)
 
 
 __all__ = ["CrawlEngine", "CrawlResult"]

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.crawlers.ratelimit import HostRateLimiter
 from repro.crawlers.robots import RobotsPolicy, path_of
+from repro.obs import NO_OBS, Obs
 from repro.runtime import REAL_CLOCK, Backoff, Clock, RetryPolicy
 from repro.websim.network import Response, SimulatedTransport, TransportError
 
@@ -90,12 +91,16 @@ class Fetcher:
         respect_robots: bool = True,
         agent: str = "securitykg",
         clock: Clock | None = None,
+        obs: Obs | None = None,
     ):
         self.transport = transport
         if clock is None:
             clock = getattr(transport, "clock", None) or REAL_CLOCK
         self.clock = clock
-        self.rate_limiter = rate_limiter or HostRateLimiter(clock=self.clock)
+        self.obs = obs if obs is not None else NO_OBS
+        self.rate_limiter = rate_limiter or HostRateLimiter(
+            clock=self.clock, obs=self.obs
+        )
         self.retry = retry or RetryPolicy(
             max_retries=max_retries, backoff=Backoff(base=backoff)
         )
@@ -147,14 +152,17 @@ class Fetcher:
             policy = self._robots_for(host)
             if not policy.allowed(path_of(url), self.agent):
                 self.stats.bump(denied=1)
+                self.obs.metrics.inc("crawl.fetch_denied")
                 raise FetchDenied(url)
 
         last_error: Exception | None = None
         for attempt in self.retry.attempts(self.clock):
             if attempt:
                 self.stats.bump(retries=1)
+                self.obs.metrics.inc("crawl.fetch_retries")
             self.rate_limiter.acquire(host)
             self.stats.bump(attempts=1)
+            self.obs.metrics.inc("crawl.fetch_attempts")
             try:
                 response = self.transport.fetch(url)
             except TransportError as error:
@@ -166,6 +174,7 @@ class Fetcher:
             self.stats.bump(successes=1)
             return response
         self.stats.bump(failures=1)
+        self.obs.metrics.inc("crawl.fetch_failures")
         raise FetchFailed(f"giving up on {url}: {last_error}")
 
 

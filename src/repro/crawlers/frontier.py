@@ -13,14 +13,16 @@ from __future__ import annotations
 import collections
 import threading
 
+from repro.obs import NO_OBS, Obs
 from repro.runtime import REAL_CLOCK, Clock
 
 
 class Frontier:
     """Thread-safe deduplicating URL queue with two priority bands."""
 
-    def __init__(self, clock: Clock | None = None):
+    def __init__(self, clock: Clock | None = None, obs: Obs | None = None):
         self._clock = clock if clock is not None else REAL_CLOCK
+        self._obs = obs if obs is not None else NO_OBS
         self._high: collections.deque[str] = collections.deque()
         self._normal: collections.deque[str] = collections.deque()
         self._seen: set[str] = set()
@@ -38,6 +40,10 @@ class Frontier:
                 return False
             self._seen.add(url)
             (self._high if priority else self._normal).append(url)
+            self._obs.metrics.max_gauge(
+                "crawl.frontier_depth_peak",
+                len(self._high) + len(self._normal),
+            )
             self._available.notify()
             return True
 

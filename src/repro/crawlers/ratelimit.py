@@ -14,15 +14,22 @@ from __future__ import annotations
 
 import threading
 
+from repro.obs import NO_OBS, Obs
 from repro.runtime import REAL_CLOCK, Clock
 
 
 class HostRateLimiter:
     """Minimum-interval limiter keyed by host."""
 
-    def __init__(self, min_interval: float = 0.0, clock: Clock | None = None):
+    def __init__(
+        self,
+        min_interval: float = 0.0,
+        clock: Clock | None = None,
+        obs: Obs | None = None,
+    ):
         self.min_interval = min_interval
         self.clock = clock if clock is not None else REAL_CLOCK
+        self.obs = obs if obs is not None else NO_OBS
         self._next_allowed: dict[str, float] = {}
         self._host_delay: dict[str, float] = {}
         self._lock = threading.Lock()
@@ -51,6 +58,7 @@ class HostRateLimiter:
             self._next_allowed[host] = start + self._interval_for(host)
         wait = start - now
         if wait > 0:
+            self.obs.metrics.observe("crawl.ratelimit_wait_seconds", wait)
             self.clock.sleep(wait)
         return max(0.0, wait)
 

@@ -17,6 +17,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import NO_OBS, Obs
 from repro.runtime import REAL_CLOCK, Backoff, Clock, Stopwatch
 
 
@@ -62,14 +63,25 @@ class PeriodicScheduler:
         jobs: list[JobSpec],
         interval: float = 0.0,
         clock: Clock | None = None,
+        obs: Obs | None = None,
     ):
         self.jobs = list(jobs)
         self.interval = interval
         self.stats = SchedulerStats()
         self.clock = clock if clock is not None else REAL_CLOCK
+        self.obs = obs if obs is not None else NO_OBS
         self._stop = threading.Event()
 
     def _execute(self, job: JobSpec, cycle: int) -> JobOutcome:
+        with self.obs.tracer.span(
+            "scheduler.job", job=job.name, cycle=cycle
+        ) as span:
+            outcome = self._execute_attempts(job, cycle)
+            span.set("status", outcome.status)
+        self.obs.metrics.inc("scheduler.runs", job=job.name, status=outcome.status)
+        return outcome
+
+    def _execute_attempts(self, job: JobSpec, cycle: int) -> JobOutcome:
         watch = Stopwatch(self.clock)
         schedule = Backoff(base=job.backoff)
         attempts = 0
@@ -82,6 +94,7 @@ class PeriodicScheduler:
                 last_error = f"{type(error).__name__}: {error}"
                 if attempts <= job.max_restarts:
                     self.stats.reboots += 1
+                    self.obs.metrics.inc("scheduler.reboots", job=job.name)
                     self.clock.sleep(schedule.delay(attempts - 1))
                 continue
             status = "ok" if attempts == 1 else "rebooted"
@@ -94,6 +107,7 @@ class PeriodicScheduler:
                 value=value,
             )
         self.stats.failures += 1
+        self.obs.metrics.inc("scheduler.failures", job=job.name)
         return JobOutcome(
             job=job.name,
             cycle=cycle,

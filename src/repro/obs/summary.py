@@ -1,0 +1,106 @@
+"""Trace summarisation: ``python -m repro stats --from-trace``.
+
+Reads the canonical JSONL written by ``run --trace``, aggregates spans
+by name into a latency table, and renders per-report span trees so an
+operator can follow one report end-to-end (fetch -> check -> parse ->
+extract -> commit) without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse a trace JSONL file into span records (export order kept)."""
+    spans = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans
+
+
+def summarize(spans: list[dict]) -> str:
+    """Aggregate table: span name, count, total/mean/max duration."""
+    if not spans:
+        return "trace is empty"
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        totals.setdefault(span["name"], []).append(
+            max(0.0, span["end"] - span["start"])
+        )
+    width = max(len(name) for name in totals)
+    lines = [
+        f"{len(spans)} spans, {len(totals)} distinct names",
+        f"{'span':<{width}}  {'count':>6}  {'total_s':>9}  {'mean_s':>9}  {'max_s':>9}",
+    ]
+    for name in sorted(totals):
+        durations = totals[name]
+        total = sum(durations)
+        lines.append(
+            f"{name:<{width}}  {len(durations):>6}  {total:>9.4f}  "
+            f"{total / len(durations):>9.4f}  {max(durations):>9.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _matches(span: dict, needle: str) -> bool:
+    return any(
+        needle in str(value) for value in span.get("attrs", {}).values()
+    )
+
+
+def render_tree(spans: list[dict], root_id: int) -> str:
+    """Render one span subtree with indentation and durations."""
+    by_parent: dict[int | None, list[dict]] = {}
+    by_id = {span["id"]: span for span in spans}
+    for span in spans:
+        by_parent.setdefault(span["parent"], []).append(span)
+    lines: list[str] = []
+
+    def visit(span: dict, depth: int) -> None:
+        duration = max(0.0, span["end"] - span["start"])
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span["attrs"].items())
+        )
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{span['name']}  [{duration:.4f}s]"
+            + (f"  {attrs}" if attrs else "")
+        )
+        for child in by_parent.get(span["id"], []):
+            visit(child, depth + 1)
+
+    visit(by_id[root_id], 0)
+    return "\n".join(lines)
+
+
+def render_report_trees(spans: list[dict], needle: str) -> str:
+    """Subtrees of every span matching ``needle``, with ancestor paths.
+
+    A span matches when any attribute value contains the needle (report
+    ids, URLs and source names are all attributes), so
+    ``--report report-0007`` shows that report's full journey: its
+    fetch under the crawl, its pipeline stages, its storage commit --
+    each prefixed by the path from the trace root.
+    """
+    by_id = {span["id"]: span for span in spans}
+    blocks: list[str] = []
+    for span in spans:
+        if not _matches(span, needle):
+            continue
+        path: list[str] = []
+        walker = span
+        while walker["parent"] is not None:
+            walker = by_id[walker["parent"]]
+            path.append(walker["name"])
+        breadcrumb = " > ".join(reversed(path)) or "(root)"
+        blocks.append(f"under {breadcrumb}:\n{render_tree(spans, span['id'])}")
+    if not blocks:
+        return f"no spans matching {needle!r}"
+    return "\n\n".join(blocks)
+
+
+__all__ = ["load_trace", "render_report_trees", "render_tree", "summarize"]

@@ -53,6 +53,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Protocol, runtime_checkable
 
+from repro.obs import NO_OBS, Obs
 from repro.storage.atomic import atomic_write_text, fsync_directory
 from repro.storage.faults import NO_FAULTS, InjectedCrash
 
@@ -133,6 +134,10 @@ class StorageEngine:
     fsync:
         Issue real ``fsync`` calls (disable only in benchmarks that
         measure something else).
+    obs:
+        Observability bundle: commit/checkpoint spans, journal-byte and
+        commit counters, checkpoint-duration histogram.  Defaults to
+        the no-op bundle.
     """
 
     MANIFEST = "MANIFEST"
@@ -143,8 +148,10 @@ class StorageEngine:
         participants: Iterable[Participant],
         faults=None,
         fsync: bool = True,
+        obs: Obs | None = None,
     ):
         self.path = Path(path) if path is not None else None
+        self._obs = obs if obs is not None else NO_OBS
         self._participants: dict[str, Participant] = {}
         for participant in participants:
             if participant.name in self._participants:
@@ -433,25 +440,35 @@ class StorageEngine:
         if not groups and not marks:
             return
         self._seq += 1
-        if self._journal_handle is not None:
-            ops_map: dict[str, list[list[dict]]] = {}
-            for name, batch in groups:
-                ops_map.setdefault(name, []).append(batch)
-            line = (
-                json.dumps({"seq": self._seq, "ops": ops_map, "marks": marks})
-                + "\n"
-            )
-            self._crash_point("commit.before-append")
-            if self._faults.fire("commit.torn-append"):
-                self._journal_handle.write(line[: max(1, len(line) // 2)])
+        # the journal sequence number is deliberately NOT a span
+        # attribute: it reflects arrival order, which races between
+        # pipeline workers, and would break golden-trace byte identity
+        with self._obs.tracer.span(
+            "storage.commit", marks=len(marks)
+        ) as span:
+            if marks:
+                span.set("report", marks[0])
+            if self._journal_handle is not None:
+                ops_map: dict[str, list[list[dict]]] = {}
+                for name, batch in groups:
+                    ops_map.setdefault(name, []).append(batch)
+                line = (
+                    json.dumps({"seq": self._seq, "ops": ops_map, "marks": marks})
+                    + "\n"
+                )
+                self._crash_point("commit.before-append")
+                if self._faults.fire("commit.torn-append"):
+                    self._journal_handle.write(line[: max(1, len(line) // 2)])
+                    self._journal_handle.flush()
+                    self._fail("commit.torn-append")
+                self._journal_handle.write(line)
                 self._journal_handle.flush()
-                self._fail("commit.torn-append")
-            self._journal_handle.write(line)
-            self._journal_handle.flush()
-            self._crash_point("commit.after-append")
-            if self._fsync:
-                os.fsync(self._journal_handle.fileno())
-            self._crash_point("commit.after-fsync")
+                self._crash_point("commit.after-append")
+                if self._fsync:
+                    os.fsync(self._journal_handle.fileno())
+                self._crash_point("commit.after-fsync")
+                self._obs.metrics.inc("storage.journal_bytes", len(line))
+        self._obs.metrics.inc("storage.commits")
         self._ingested.update(marks)
 
     # -- checkpoint (log compaction) --------------------------------------
@@ -466,44 +483,52 @@ class StorageEngine:
             return
         with self.lock:
             self._check_usable()
-            self._crash_point("checkpoint.begin")
-            new_generation = self._generation + 1
-            snapshot = {
-                "seq": self._seq,
-                "ingested": sorted(self._ingested),
-                "stores": {
-                    name: participant.snapshot_data()
-                    for name, participant in sorted(self._participants.items())
-                },
-            }
-            payload = json.dumps(snapshot)
-            snapshot_name = self._snapshot_name(new_generation)
-            if self._faults.fire("checkpoint.torn-snapshot"):
-                (self.path / (snapshot_name + ".tmp")).write_text(
-                    payload[: max(1, len(payload) // 2)], encoding="utf-8"
-                )
-                self._fail("checkpoint.torn-snapshot")
-            atomic_write_text(
-                self.path / snapshot_name, payload, fsync=self._fsync
+            with self._obs.tracer.span(
+                "storage.checkpoint", generation=self._generation + 1
+            ) as span:
+                self._checkpoint_locked()
+            self._obs.metrics.observe("storage.checkpoint_seconds", span.duration)
+
+    def _checkpoint_locked(self) -> None:
+        """The checkpoint body (caller holds the lock and the span)."""
+        self._crash_point("checkpoint.begin")
+        new_generation = self._generation + 1
+        snapshot = {
+            "seq": self._seq,
+            "ingested": sorted(self._ingested),
+            "stores": {
+                name: participant.snapshot_data()
+                for name, participant in sorted(self._participants.items())
+            },
+        }
+        payload = json.dumps(snapshot)
+        snapshot_name = self._snapshot_name(new_generation)
+        if self._faults.fire("checkpoint.torn-snapshot"):
+            (self.path / (snapshot_name + ".tmp")).write_text(
+                payload[: max(1, len(payload) // 2)], encoding="utf-8"
             )
-            journal_name = self._journal_name(new_generation)
-            (self.path / journal_name).touch()
-            self._crash_point("checkpoint.after-snapshot")
-            if self._faults.fire("checkpoint.torn-manifest"):
-                (self.path / (self.MANIFEST + ".tmp")).write_text(
-                    '{"generation": ', encoding="utf-8"
-                )
-                self._fail("checkpoint.torn-manifest")
-            self._generation = new_generation
-            self._write_manifest(snapshot=snapshot_name)
-            self._crash_point("checkpoint.after-manifest")
-            self._journal_handle.close()
-            self._journal_path = self.path / journal_name
-            self._journal_handle = self._journal_path.open("a", encoding="utf-8")
-            # snapshot captured the staged ops' in-memory effects
-            self._staged = []
-            self._sweep_stale_generations()
-            self._crash_point("checkpoint.after-cleanup")
+            self._fail("checkpoint.torn-snapshot")
+        atomic_write_text(
+            self.path / snapshot_name, payload, fsync=self._fsync
+        )
+        journal_name = self._journal_name(new_generation)
+        (self.path / journal_name).touch()
+        self._crash_point("checkpoint.after-snapshot")
+        if self._faults.fire("checkpoint.torn-manifest"):
+            (self.path / (self.MANIFEST + ".tmp")).write_text(
+                '{"generation": ', encoding="utf-8"
+            )
+            self._fail("checkpoint.torn-manifest")
+        self._generation = new_generation
+        self._write_manifest(snapshot=snapshot_name)
+        self._crash_point("checkpoint.after-manifest")
+        self._journal_handle.close()
+        self._journal_path = self.path / journal_name
+        self._journal_handle = self._journal_path.open("a", encoding="utf-8")
+        # snapshot captured the staged ops' in-memory effects
+        self._staged = []
+        self._sweep_stale_generations()
+        self._crash_point("checkpoint.after-cleanup")
 
     def _write_manifest(self, snapshot: str | None) -> None:
         manifest = {

@@ -6,6 +6,8 @@ endpoints correspond one-to-one to the interactions the demo shows:
 =======================  =====================================================
 ``GET  /api/graph``       current view (nodes with positions, edges)
 ``GET  /api/stats``       knowledge-graph size summary
+``GET  /metrics``         metrics snapshot (also ``/api/metrics``)
+``GET  /trace``           ring-buffer span trace (also ``/api/trace``)
 ``POST /api/search``      body ``{"query": ...}``; keyword search + focus
 ``POST /api/cypher``      body ``{"query", "strict"?}``; Cypher search
                           (analysis errors return 400 + diagnostics)
@@ -62,6 +64,10 @@ class ExplorerAPI:
                 return 200, self.explorer.snapshot()
             if method == "GET" and path == "/api/stats":
                 return 200, self.system.stats()
+            if method == "GET" and path in ("/metrics", "/api/metrics"):
+                return 200, self.system.obs.metrics.snapshot()
+            if method == "GET" and path in ("/trace", "/api/trace"):
+                return 200, {"spans": self.system.obs.tracer.export()}
             if method == "POST" and path == "/api/search":
                 hits = self.system.keyword_search(str(body.get("query", "")))
                 node_ids = self._nodes_for_query(str(body.get("query", "")))

@@ -594,3 +594,87 @@ class TestRepoInvariants:
         findings = lint_paths([DEFAULT_ROOT])
         remaining = apply_baseline(findings, load_baseline(DEFAULT_BASELINE))
         assert remaining == [], [f.format() for f in remaining]
+
+
+class TestObsUntracedStageRule:
+    def scan(self, tmp_path, body):
+        return lint_source(tmp_path, body, name="core/pipeline.py")
+
+    def test_untraced_stage_call_flagged(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            """
+            def worker(self, stage, item):
+                return stage.fn(item)
+            """,
+        )
+        assert rules(findings) == ["obs/untraced-stage"]
+
+    def test_stage_under_span_allowed(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            """
+            def worker(self, stage, item):
+                with self.obs.tracer.span(stage.name):
+                    return stage.fn(item)
+            """,
+        )
+        assert findings == []
+
+    def test_span_inside_branch_allowed(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            """
+            def worker(self, stage, item, traced):
+                if traced:
+                    with self.obs.tracer.span(stage.name):
+                        return stage.fn(item)
+                return None
+            """,
+        )
+        assert findings == []
+
+    def test_non_span_with_still_flagged(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            """
+            def worker(self, stage, item):
+                with self.lock:
+                    return stage.fn(item)
+            """,
+        )
+        assert rules(findings) == ["obs/untraced-stage"]
+
+    def test_nested_def_scanned_independently(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            """
+            def outer(self, stage, item):
+                with self.obs.tracer.span(stage.name):
+                    def escape():
+                        return stage.fn(item)
+                    return escape()
+            """,
+        )
+        assert rules(findings) == ["obs/untraced-stage"]
+
+    def test_other_files_out_of_scope(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def worker(stage, item):
+                return stage.fn(item)
+            """,
+            name="crawlers/other.py",
+        )
+        assert findings == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = self.scan(
+            tmp_path,
+            """
+            def worker(self, stage, item):
+                return stage.fn(item)  # repro: allow[untraced-stage]
+            """,
+        )
+        assert findings == []
