@@ -34,6 +34,23 @@ class GraphStats:
     top_entities: list[tuple[str, str, int]]  # (label, name, degree)
     degree_histogram: dict[int, int]
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for ``stats --json`` and machine consumers."""
+        return {
+            "degree_histogram": {
+                str(degree): count
+                for degree, count in self.degree_histogram.items()
+            },
+            "edge_types": dict(sorted(self.edge_types.items())),
+            "edges": self.edges,
+            "labels": dict(sorted(self.labels.items())),
+            "nodes": self.nodes,
+            "top_entities": [
+                {"degree": degree, "label": label, "name": name}
+                for label, name, degree in self.top_entities
+            ],
+        }
+
     def describe(self) -> str:
         lines = [
             f"knowledge graph: {self.nodes} nodes, {self.edges} edges",

@@ -4,7 +4,9 @@ Drives the whole system from a shell::
 
     python -m repro run --scenarios 12 --reports-per-site 4 --state ./kgdata
     python -m repro run --clock virtual --trace trace.jsonl --metrics
-    python -m repro stats --from-trace trace.jsonl [--report rpt-...]
+    python -m repro run --health --health-out health.json
+    python -m repro stats --from-trace trace.jsonl [--report rpt-...] [--json]
+    python -m repro health --from-trace trace.jsonl [--json]
     python -m repro search  --state ./kgdata "agent tesla"
     python -m repro cypher  --state ./kgdata 'MATCH (m:Malware) RETURN m.name'
     python -m repro stats   --state ./kgdata
@@ -41,7 +43,17 @@ def _wants_obs(args: argparse.Namespace) -> bool:
         getattr(args, "trace", None)
         or getattr(args, "metrics", False)
         or getattr(args, "metrics_out", None)
+        or getattr(args, "health", False)
+        or getattr(args, "health_out", None)
     )
+
+
+def _load_health_rules(path: str | None) -> dict | None:
+    if not path:
+        return None
+    from repro.obs.health import load_rules_file
+
+    return load_rules_file(path)
 
 
 def build_system(args: argparse.Namespace) -> SecurityKG:
@@ -60,6 +72,11 @@ def build_system(args: argparse.Namespace) -> SecurityKG:
             config.storage_path = args.state
         if getattr(args, "clock", None):
             config.clock = args.clock
+    if getattr(args, "health", False) or getattr(args, "health_out", None):
+        config.health = True
+        rules = _load_health_rules(getattr(args, "health_rules", None))
+        if rules is not None:
+            config.health_rules = rules
     faults = None
     crash_at = getattr(args, "crash_at", None)
     if crash_at:
@@ -96,6 +113,14 @@ def _emit_observability(system: SecurityKG, args: argparse.Namespace, out) -> No
     if getattr(args, "metrics", False):
         snapshot = snapshot or system.obs.metrics.snapshot()
         print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
+    health_out = getattr(args, "health_out", None)
+    if health_out and system.health is not None:
+        system.health.write_report(Path(health_out))
+        print(f"wrote health report to {health_out}", file=out)
+    if getattr(args, "health", False) and system.health is not None:
+        from repro.obs.health import render_health
+
+        print(render_health(system.health.report()), file=out)
 
 
 def cmd_run(args: argparse.Namespace, out) -> int:
@@ -175,14 +200,25 @@ def cmd_lint(args: argparse.Namespace, out) -> int:
 
 
 def cmd_stats(args: argparse.Namespace, out) -> int:
+    as_json = getattr(args, "json", False)
     if getattr(args, "from_trace", None):
         # Offline path: summarise a trace written by ``run --trace``
         # without opening any state directory.
-        from repro.obs.summary import load_trace, render_report_trees, summarize
+        from repro.obs.summary import (
+            load_trace,
+            render_report_trees,
+            summarize,
+            summarize_dict,
+        )
 
         spans = load_trace(Path(args.from_trace))
         if getattr(args, "report", None):
             print(render_report_trees(spans, args.report), file=out)
+        elif as_json:
+            print(
+                json.dumps(summarize_dict(spans), indent=2, sort_keys=True),
+                file=out,
+            )
         else:
             print(summarize(spans), file=out)
         return 0
@@ -190,7 +226,34 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
 
     system = build_system(args)
     metrics = system.obs.metrics.snapshot() if system.obs.enabled else None
-    print(compute_stats(system.graph, metrics=metrics).describe(), file=out)
+    stats = compute_stats(system.graph, metrics=metrics)
+    if as_json:
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(stats.describe(), file=out)
+    return 0
+
+
+def cmd_health(args: argparse.Namespace, out) -> int:
+    """Offline health evaluation over a trace written by ``run --trace``."""
+    from repro.obs.health import render_health, replay_trace
+    from repro.obs.summary import load_trace
+
+    spans = load_trace(Path(args.from_trace))
+    try:
+        rules = _load_health_rules(getattr(args, "rules", None))
+        engine = replay_trace(spans, rules, interval=args.interval)
+    except ValueError as error:
+        print(f"health rules error: {error}", file=out)
+        return 2
+    report = engine.report()
+    if getattr(args, "out", None):
+        engine.write_report(Path(args.out))
+        print(f"wrote health report to {args.out}", file=out)
+    if getattr(args, "json", False):
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    elif not getattr(args, "out", None):
+        print(render_health(report), file=out)
     return 0
 
 
@@ -315,6 +378,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out",
             help="write the metrics snapshot to a JSON file",
         )
+        p.add_argument(
+            "--health",
+            action="store_true",
+            help="run the online health engine (SLO rules, per-source "
+            "quarantine feedback) and print its verdicts after the run",
+        )
+        p.add_argument(
+            "--health-out",
+            help="write the canonical health report JSON to a file "
+            "(implies the health engine)",
+        )
+        p.add_argument(
+            "--health-rules",
+            help="JSON (or YAML, when available) file of health rule "
+            "overrides; see OBSERVABILITY.md",
+        )
 
     p = sub.add_parser("run", help="one collect-process-store cycle")
     common(p)
@@ -359,7 +438,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --from-trace: show the span trees of spans whose "
         "attributes match this substring (report id, URL, source)",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the text table",
+    )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "health",
+        help="offline health evaluation over a trace from `run --trace`",
+    )
+    p.add_argument(
+        "--from-trace",
+        dest="from_trace",
+        required=True,
+        help="trace JSONL written by `run --trace`",
+    )
+    p.add_argument(
+        "--rules",
+        help="JSON (or YAML, when available) file of rule overrides",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="evaluation interval in seconds (default 5)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical report JSON instead of the text view",
+    )
+    p.add_argument("--out", help="also write the report JSON to a file")
+    p.set_defaults(func=cmd_health)
 
     p = sub.add_parser("fuse", help="run the knowledge-fusion stage")
     common(p)

@@ -64,6 +64,17 @@ class SystemConfig:
         ``"real"`` (wall time; the deployment default) or ``"virtual"``
         (discrete-event time: crawls replay simulated latency instantly
         and deterministically -- the benchmark/test mode).
+    health:
+        Enable the online health engine (``repro.obs.health``): SLO
+        rules evaluated over the span/metric stream, with per-source
+        quarantine feedback into the crawl.  Implies a live
+        observability bundle.
+    health_rules:
+        Optional rule overrides, mapping rule name to field overrides
+        (plus an ``"engine"`` entry for engine parameters) -- see
+        ``repro.obs.health.rules_from_config``.
+    health_interval:
+        Seconds between health evaluations.
     """
 
     sources: list[str] | None = None
@@ -87,6 +98,9 @@ class SystemConfig:
     checker_min_chars: int = 120
     max_articles: int | None = None
     clock: str = "real"
+    health: bool = False
+    health_rules: dict | None = None
+    health_interval: float = 5.0
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True)

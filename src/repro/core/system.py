@@ -38,7 +38,8 @@ from repro.fusion.fuse import FusionReport, KnowledgeFusion
 from repro.graphdb.cypher.executor import CypherEngine, ResultRow
 from repro.graphdb.wal import GraphDatabase, GraphParticipant
 from repro.nlp.baselines import GazetteerRecognizer, RegexRecognizer
-from repro.obs import NO_OBS, Obs
+from repro.obs import NO_OBS, Obs, make_obs
+from repro.obs.health import HealthEngine
 from repro.ontology.intermediate import CTIRecord, ReportRecord
 from repro.runtime import Clock, clock_from_name
 from repro.search.index import SearchHit, SearchIndexParticipant
@@ -64,6 +65,8 @@ class SystemReport:
     #: metrics snapshot taken at the end of the cycle (empty shape when
     #: the system runs with the default no-op observability bundle)
     metrics: dict = field(default_factory=dict)
+    #: health report from the online health engine (None when disabled)
+    health: dict | None = None
 
     @property
     def reports_per_minute(self) -> float:
@@ -136,6 +139,20 @@ class SecurityKG:
             clock if clock is not None else clock_from_name(self.config.clock)
         )
         self.obs = obs if obs is not None else NO_OBS
+        self.health: HealthEngine | None = None
+        if self.config.health:
+            if not self.obs.enabled:
+                # the health engine tails spans and metrics; silently
+                # evaluating nothing would be worse than upgrading
+                self.obs = make_obs(self.clock)
+            self.health = HealthEngine.from_config(
+                self.config.health_rules,
+                clock=self.clock,
+                obs=self.obs,
+                interval=self.config.health_interval,
+                start=self.clock.now(),
+            )
+            self.obs.tracer.on_finish = self.health.observe_span
         self.web = web or build_default_web(
             scenario_count=self.config.scenario_count,
             reports_per_site=self.config.reports_per_site,
@@ -261,6 +278,7 @@ class SecurityKG:
             max_articles=max_articles or self.config.max_articles,
             clock=self.clock,
             obs=self.obs,
+            health=self.health,
         )
         return engine.crawl()
 
@@ -351,6 +369,12 @@ class SecurityKG:
             skipped = self._last_skipped
             self._update_graph_gauges()
             run_span.set("reports_stored", len(records) - skipped)
+            health_report = None
+            if self.health is not None:
+                # end-of-cycle verdict spans nest under this run span
+                previous_parent = self.health.bind_parent(run_span)
+                health_report = self.health.finalize(self.clock.now())
+                self.health.bind_parent(previous_parent)
         return SystemReport(
             crawl=crawl_result,
             reports_ported=len(ported),
@@ -362,6 +386,7 @@ class SecurityKG:
             pipeline_elapsed=pipeline_result.elapsed,
             pipeline_errors=list(pipeline_result.errors),
             metrics=self.obs.metrics.snapshot(),
+            health=health_report,
         )
 
     def run_fusion(self) -> FusionReport:
@@ -403,6 +428,17 @@ class SecurityKG:
         if not isinstance(search, SearchConnector):
             raise RuntimeError("the 'search' connector is not configured")
         return search.index.search(query, limit=limit)
+
+    def health_report(self) -> dict:
+        """The health engine's current canonical report.
+
+        No evaluation is forced here, so after ``run_once`` the
+        endpoint serves byte-for-byte the same JSON that
+        ``run --health-out`` persisted for the cycle.
+        """
+        if self.health is None:
+            return {"enabled": False}
+        return self.health.report()
 
     def stats(self) -> dict[str, object]:
         """Knowledge-graph size summary."""

@@ -33,6 +33,7 @@ class CrawlResult:
     documents: list[RawDocument] = field(default_factory=list)
     errors: list[tuple[str, str]] = field(default_factory=list)
     denied: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
     elapsed: float = 0.0
     pages_fetched: int = 0
 
@@ -68,6 +69,12 @@ class CrawlEngine:
         Clock for elapsed/timestamp measurement and worker
         coordination.  Defaults to the fetcher's clock, so one virtual
         clock injected at the transport virtualises the whole crawl.
+    health:
+        Optional :class:`~repro.obs.health.HealthEngine`.  Every URL is
+        admitted through it: quarantined sources are skipped (recorded
+        in ``CrawlResult.skipped``) except for the single canonical
+        probe fetch the engine grants per backoff expiry, and degraded
+        sources get their host rate-limit interval stretched.
     """
 
     def __init__(
@@ -79,6 +86,7 @@ class CrawlEngine:
         max_articles: int | None = None,
         clock: Clock | None = None,
         obs: Obs | None = None,
+        health=None,
     ):
         self.crawlers = list(crawlers)
         self.fetcher = fetcher
@@ -91,6 +99,7 @@ class CrawlEngine:
             else getattr(fetcher, "clock", None) or REAL_CLOCK
         )
         self.obs = obs if obs is not None else NO_OBS
+        self.health = health
         self._by_host = {crawler.host: crawler for crawler in self.crawlers}
         self._result_lock = threading.Lock()
 
@@ -102,7 +111,17 @@ class CrawlEngine:
         with self.obs.tracer.span(
             "crawl", sources=len(self.crawlers), threads=self.num_threads
         ) as crawl_span:
-            return self._crawl(crawl_span)
+            if self.health is None:
+                return self._crawl(crawl_span)
+            # Verdict spans emitted mid-crawl nest under the crawl span
+            # regardless of which worker thread triggers them.
+            previous_parent = self.health.bind_parent(crawl_span)
+            self.health.crawl_started()
+            try:
+                return self._crawl(crawl_span)
+            finally:
+                self.health.crawl_finished()
+                self.health.bind_parent(previous_parent)
 
     def _crawl(self, crawl_span) -> CrawlResult:
         frontier = Frontier(clock=self.clock, obs=self.obs)
@@ -164,6 +183,7 @@ class CrawlEngine:
         result.documents.sort(key=lambda doc: (doc.fetched_at, doc.url))
         result.errors.sort()
         result.denied.sort()
+        result.skipped.sort()
         if self.state is not None:
             now = self.clock.now()
             for crawler in self.crawlers:
@@ -188,13 +208,38 @@ class CrawlEngine:
             return
         source = crawler.site_name
         metrics = self.obs.metrics
+        probe = False
+        if self.health is not None:
+            admission = self.health.admit(source, self.clock.now())
+            # Feedback: a degraded/probing source crawls at a stretched
+            # politeness interval; a recovered one gets its pace back.
+            self.fetcher.rate_limiter.set_host_multiplier(
+                crawler.host,
+                admission.rate_multiplier,
+                admission.min_interval,
+            )
+            if not admission.allow:
+                with self._result_lock:
+                    result.skipped.append(url)
+                if not admission.probe:
+                    return
+                # The probe always targets the source's canonical seed
+                # URL, so the granted fetch is identical no matter which
+                # queued URL's worker won the grant.
+                probe = True
+                url = crawler.seed_urls()[0]
         # The worker thread has no span context of its own, so the
         # crawl span is passed in as the explicit parent.
         with self.obs.tracer.span(
             "crawl.fetch", parent=crawl_span, url=url, source=source
         ) as span:
+            if probe:
+                span.set("probe", True)
             try:
-                response = self.fetcher.fetch(url)
+                # A probe asks a yes/no question; one attempt answers it.
+                response = self.fetcher.fetch(
+                    url, source=source, max_attempts=1 if probe else None
+                )
             except FetchDenied:
                 span.set("outcome", "denied")
                 metrics.inc("crawl.denied", source=source)
@@ -214,6 +259,10 @@ class CrawlEngine:
                     result.errors.append((url, f"http {response.status}"))
                 return
             span.set("outcome", "ok")
+            if probe:
+                # A probe only answers "is the source well again?"; the
+                # page is not parsed, emitted or counted as progress.
+                return
             metrics.inc("crawl.pages", source=source)
             with self._result_lock:
                 result.pages_fetched += 1

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.crawlers.ratelimit import HostRateLimiter
 from repro.crawlers.robots import RobotsPolicy, path_of
 from repro.obs import NO_OBS, Obs
-from repro.runtime import REAL_CLOCK, Backoff, Clock, RetryPolicy
+from repro.runtime import REAL_CLOCK, Backoff, Clock, RetryPolicy, Stopwatch
 from repro.websim.network import Response, SimulatedTransport, TransportError
 
 
@@ -140,12 +140,20 @@ class Fetcher:
             self.rate_limiter.set_host_delay(host, delay)
         return policy
 
-    def fetch(self, url: str) -> Response:
+    def fetch(
+        self,
+        url: str,
+        source: str | None = None,
+        max_attempts: int | None = None,
+    ) -> Response:
         """Fetch one URL with robots gating, politeness and retries.
 
         Raises :class:`FetchDenied` for robots-disallowed URLs and
         :class:`FetchFailed` when every attempt failed.  4xx responses
         are returned as-is (they are permanent, retrying is pointless).
+        ``source`` labels the latency histogram (falls back to host).
+        ``max_attempts`` caps the retry budget below the policy's
+        (quarantine probes ask a yes/no question; retrying is waste).
         """
         host = self.host_of(url)
         if self.respect_robots and not url.endswith("/robots.txt"):
@@ -155,6 +163,7 @@ class Fetcher:
                 self.obs.metrics.inc("crawl.fetch_denied")
                 raise FetchDenied(url)
 
+        watch = Stopwatch(self.clock)
         last_error: Exception | None = None
         for attempt in self.retry.attempts(self.clock):
             if attempt:
@@ -167,14 +176,23 @@ class Fetcher:
                 response = self.transport.fetch(url)
             except TransportError as error:
                 last_error = error
-                continue
-            if response.status >= 500:
+            else:
+                if response.status < 500:
+                    self.stats.bump(successes=1)
+                    self.obs.metrics.observe(
+                        "crawl.fetch_seconds",
+                        watch.elapsed,
+                        source=source or host,
+                    )
+                    return response
                 last_error = FetchFailed(f"{url} -> {response.status}")
-                continue
-            self.stats.bump(successes=1)
-            return response
+            if max_attempts is not None and attempt + 1 >= max_attempts:
+                break
         self.stats.bump(failures=1)
         self.obs.metrics.inc("crawl.fetch_failures")
+        self.obs.metrics.observe(
+            "crawl.fetch_seconds", watch.elapsed, source=source or host
+        )
         raise FetchFailed(f"giving up on {url}: {last_error}")
 
 

@@ -32,6 +32,7 @@ class HostRateLimiter:
         self.obs = obs if obs is not None else NO_OBS
         self._next_allowed: dict[str, float] = {}
         self._host_delay: dict[str, float] = {}
+        self._policy: dict[str, tuple[float, float]] = {}
         self._lock = threading.Lock()
 
     def set_host_delay(self, host: str, delay: float | None) -> None:
@@ -42,8 +43,30 @@ class HostRateLimiter:
             else:
                 self._host_delay[host] = delay
 
+    def set_host_multiplier(
+        self, host: str, multiplier: float, floor: float = 0.0
+    ) -> None:
+        """Health-feedback throttle: stretch one host's interval.
+
+        The effective interval becomes ``max(base, floor) * multiplier``
+        -- the ``floor`` matters because the framework default interval
+        is 0, where a bare multiplier would change nothing.  A
+        multiplier <= 1 with no floor clears the policy.
+        """
+        with self._lock:
+            if multiplier <= 1.0 and floor <= 0.0:
+                self._policy.pop(host, None)
+            else:
+                self._policy[host] = (multiplier, floor)
+
+    def host_multiplier(self, host: str) -> float:
+        with self._lock:
+            return self._policy.get(host, (1.0, 0.0))[0]
+
     def _interval_for(self, host: str) -> float:
-        return max(self.min_interval, self._host_delay.get(host, 0.0))
+        base = max(self.min_interval, self._host_delay.get(host, 0.0))
+        multiplier, floor = self._policy.get(host, (1.0, 0.0))
+        return max(base, floor) * multiplier
 
     def acquire(self, host: str) -> float:
         """Block until the host may be contacted; returns the wait time.

@@ -79,6 +79,9 @@ class PeriodicScheduler:
             outcome = self._execute_attempts(job, cycle)
             span.set("status", outcome.status)
         self.obs.metrics.inc("scheduler.runs", job=job.name, status=outcome.status)
+        self.obs.metrics.observe(
+            "scheduler.job_seconds", outcome.elapsed, job=job.name
+        )
         return outcome
 
     def _execute_attempts(self, job: JobSpec, cycle: int) -> JobOutcome:

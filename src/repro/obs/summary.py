@@ -22,6 +22,27 @@ def load_trace(path: str | Path) -> list[dict]:
     return spans
 
 
+def summarize_dict(spans: list[dict]) -> dict:
+    """The aggregate summary as a JSON-safe dict (``--json`` output)."""
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        totals.setdefault(span["name"], []).append(
+            max(0.0, span["end"] - span["start"])
+        )
+    return {
+        "spans": len(spans),
+        "names": {
+            name: {
+                "count": len(durations),
+                "total_s": sum(durations),
+                "mean_s": sum(durations) / len(durations),
+                "max_s": max(durations),
+            }
+            for name, durations in sorted(totals.items())
+        },
+    }
+
+
 def summarize(spans: list[dict]) -> str:
     """Aggregate table: span name, count, total/mean/max duration."""
     if not spans:
@@ -103,4 +124,10 @@ def render_report_trees(spans: list[dict], needle: str) -> str:
     return "\n\n".join(blocks)
 
 
-__all__ = ["load_trace", "render_report_trees", "render_tree", "summarize"]
+__all__ = [
+    "load_trace",
+    "render_report_trees",
+    "render_tree",
+    "summarize",
+    "summarize_dict",
+]

@@ -115,6 +115,10 @@ class Tracer:
         self._open: dict[int, Span] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Optional ``hook(span)`` invoked for every finished span,
+        #: outside the tracer lock (the health engine tails the stream
+        #: through this; its callback takes its own lock).
+        self.on_finish = None
 
     # -- span lifecycle ---------------------------------------------------
 
@@ -151,6 +155,9 @@ class Tracer:
         with self._lock:
             self._open.pop(id(span), None)
             self._finished.append(span)
+        hook = self.on_finish
+        if hook is not None:
+            hook(span)
 
     # -- introspection ----------------------------------------------------
 

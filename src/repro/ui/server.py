@@ -8,6 +8,7 @@ endpoints correspond one-to-one to the interactions the demo shows:
 ``GET  /api/stats``       knowledge-graph size summary
 ``GET  /metrics``         metrics snapshot (also ``/api/metrics``)
 ``GET  /trace``           ring-buffer span trace (also ``/api/trace``)
+``GET  /health``          health-engine report (also ``/api/health``)
 ``POST /api/search``      body ``{"query": ...}``; keyword search + focus
 ``POST /api/cypher``      body ``{"query", "strict"?}``; Cypher search
                           (analysis errors return 400 + diagnostics)
@@ -68,6 +69,8 @@ class ExplorerAPI:
                 return 200, self.system.obs.metrics.snapshot()
             if method == "GET" and path in ("/trace", "/api/trace"):
                 return 200, {"spans": self.system.obs.tracer.export()}
+            if method == "GET" and path in ("/health", "/api/health"):
+                return 200, self.system.health_report()
             if method == "POST" and path == "/api/search":
                 hits = self.system.keyword_search(str(body.get("query", "")))
                 node_ids = self._nodes_for_query(str(body.get("query", "")))

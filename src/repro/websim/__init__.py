@@ -15,6 +15,7 @@ True
 """
 
 from repro.websim.network import (
+    Brownout,
     Response,
     SimulatedTransport,
     TransportError,
@@ -47,6 +48,7 @@ from repro.websim.textgen import (
 
 __all__ = [
     "Article",
+    "Brownout",
     "CATEGORIES",
     "DEFAULT_SITE_SPECS",
     "DISTRACTORS",

@@ -28,6 +28,26 @@ class TransportError(Exception):
     """Connection-level failure (simulated timeout / reset)."""
 
 
+@dataclass(frozen=True)
+class Brownout:
+    """A window during which one host's fetches mostly fail.
+
+    Models a *gray failure*: the host is up (DNS resolves, connections
+    open) but requests fail at ``failure_rate`` between ``start`` and
+    ``end`` on the transport's clock.  Failures draw the same
+    deterministic randomness as the baseline failure injection, so a
+    browned-out crawl is exactly reproducible.
+    """
+
+    host: str
+    start: float
+    end: float
+    failure_rate: float = 1.0
+
+    def active(self, host: str, now: float) -> bool:
+        return host == self.host and self.start <= now < self.end
+
+
 @dataclass
 class Response:
     """Result of one fetch."""
@@ -87,6 +107,9 @@ class SimulatedTransport:
         measured against.  Components downstream (fetcher, engine)
         inherit this clock, so injecting a virtual clock here threads
         virtual time through the whole crawl.
+    brownouts:
+        Optional :class:`Brownout` windows -- per-host gray-failure
+        injection for health/quarantine experiments.
     """
 
     def __init__(
@@ -96,12 +119,14 @@ class SimulatedTransport:
         time_scale: float = 1.0,
         failure_seed: int = 99,
         clock: Clock | None = None,
+        brownouts: list[Brownout] | None = None,
     ):
         self.web = web
         self.failure_rate = failure_rate
         self.time_scale = time_scale
         self.failure_seed = failure_seed
         self.clock = clock if clock is not None else REAL_CLOCK
+        self.brownouts = list(brownouts or [])
         self.stats = TransportStats()
         self._attempts: dict[str, int] = {}
         self._attempt_lock = threading.Lock()
@@ -131,10 +156,16 @@ class SimulatedTransport:
             self.clock.sleep(jitter / 1000.0 * self.time_scale)
 
         attempt = self._next_attempt(url)
+        failure_rate = self.failure_rate
+        if self.brownouts:
+            now = self.clock.now()
+            for brownout in self.brownouts:
+                if brownout.active(host, now):
+                    failure_rate = max(failure_rate, brownout.failure_rate)
         roll = derive_rng(self.failure_seed, url, attempt).random()
-        if roll < self.failure_rate:
+        if roll < failure_rate:
             self.stats.record(host, failed=True)
-            if roll < self.failure_rate / 2:
+            if roll < failure_rate / 2:
                 raise TransportError(f"simulated connection reset for {url}")
             return Response(
                 url=url,
@@ -159,4 +190,10 @@ class SimulatedTransport:
         )
 
 
-__all__ = ["Response", "SimulatedTransport", "TransportError", "TransportStats"]
+__all__ = [
+    "Brownout",
+    "Response",
+    "SimulatedTransport",
+    "TransportError",
+    "TransportStats",
+]

@@ -307,16 +307,36 @@ class TestScheduler:
         assert scheduler.stats.reboots == 1
 
     def test_permanent_failure_reported(self):
+        from repro.obs import make_obs
+
         def dead():
             raise RuntimeError("always")
 
+        obs = make_obs()
         scheduler = PeriodicScheduler(
-            [JobSpec("dead", dead, max_restarts=1, backoff=0.0)]
+            [JobSpec("dead", dead, max_restarts=1, backoff=0.0)], obs=obs
         )
         (outcome,) = scheduler.run_cycles(1)
         assert outcome.status == "failed"
         assert "always" in outcome.error
         assert scheduler.stats.failures == 1
+        # exhausting the reboot budget counts a failure metric too
+        assert obs.metrics.counter("scheduler.failures", job="dead") == 1
+        assert obs.metrics.counter("scheduler.reboots", job="dead") == 1
+
+    def test_job_seconds_histogram_recorded(self):
+        from repro.obs import make_obs
+
+        obs = make_obs()
+        scheduler = PeriodicScheduler(
+            [JobSpec("quick", lambda: 1), JobSpec("other", lambda: 2)],
+            obs=obs,
+        )
+        scheduler.run_cycles(3)
+        histograms = obs.metrics.snapshot()["histograms"]
+        series = histograms["scheduler.job_seconds"]
+        assert series["job=quick"]["count"] == 3
+        assert series["job=other"]["count"] == 3
 
     def test_threaded_mode_runs_jobs(self):
         counter = {"n": 0}

@@ -202,6 +202,59 @@ class TestMetricsRegistry:
         assert list(snapshot["counters"]) == ["a", "b"]
         json.dumps(snapshot)
 
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1000.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=30,
+        )
+    )
+    def test_bucket_boundary_semantics(self, values):
+        """Pin the slotting rule: first bucket with ``value <= bound``.
+
+        Boundaries are *inclusive upper bounds* (a value exactly equal
+        to a bound lands in that bound's slot, Prometheus-style) and
+        anything above the last bound lands in ``+Inf``.
+        """
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        metrics = MetricsRegistry()
+        for value in values:
+            metrics.observe("lat", value)
+        if not values:
+            assert "lat" not in metrics.snapshot()["histograms"]
+            return
+        series = metrics.snapshot()["histograms"]["lat"][""]
+
+        expected = {str(bound): 0 for bound in DEFAULT_BUCKETS}
+        expected["+Inf"] = 0
+        for value in values:
+            for bound in DEFAULT_BUCKETS:
+                if value <= bound:
+                    expected[str(bound)] += 1
+                    break
+            else:
+                expected["+Inf"] += 1
+        assert series["buckets"] == expected
+        assert series["count"] == len(values)
+        assert sum(series["buckets"].values()) == series["count"]
+        assert series["sum"] == pytest.approx(sum(values))
+
+    def test_bucket_exact_boundary_is_inclusive(self):
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        metrics = MetricsRegistry()
+        for bound in DEFAULT_BUCKETS:
+            metrics.observe("lat", bound)
+        buckets = metrics.snapshot()["histograms"]["lat"][""]["buckets"]
+        assert all(buckets[str(bound)] == 1 for bound in DEFAULT_BUCKETS)
+        assert buckets["+Inf"] == 0
+
 
 SMALL_SYSTEM = dict(scenario_count=6, reports_per_site=2, seed=7, clock="virtual")
 
