@@ -7,6 +7,12 @@ Two analyzers share one diagnostics core (:mod:`.diagnostics`):
   variables, type mismatches, ...).
 * :mod:`.lint` -- an ``ast`` pass over ``src/repro`` enforcing the
   determinism/concurrency invariants from the ROADMAP.
+* :mod:`.concurrency` -- the interprocedural concurrency analyzer
+  behind the ``conc/*`` lint rules: project-wide call graph with
+  thread-root discovery, lock-set analysis per ``named_lock`` site,
+  the static lock-acquisition-order hierarchy (``concurrency.json``)
+  that the runtime :class:`repro.runtime.LockOrderWitness` validates
+  under pytest, and blocking-under-lock detection.
 
 Only the diagnostics core is imported eagerly; the analyzers are
 exposed lazily (PEP 562) so that :mod:`repro.graphdb` can import this
@@ -33,8 +39,13 @@ _LAZY = {
     "graph_schema": "repro.analysis.cypher_check",
     "schema_for": "repro.analysis.cypher_check",
     "lint_paths": "repro.analysis.lint",
+    "concurrency_findings": "repro.analysis.lint",
+    "ConcurrencyModel": "repro.analysis.concurrency",
+    "analyze_package": "repro.analysis.concurrency",
+    "analyze_paths": "repro.analysis.concurrency",
     "cypher_check": "repro.analysis.cypher_check",
     "lint": "repro.analysis.lint",
+    "concurrency": "repro.analysis.concurrency",
 }
 
 
@@ -45,19 +56,23 @@ def __getattr__(name: str):
     import importlib
 
     module = importlib.import_module(module_name)
-    if name in ("cypher_check", "lint"):
+    if name in ("cypher_check", "lint", "concurrency"):
         return module
     return getattr(module, name)
 
 
 __all__ = [
+    "ConcurrencyModel",
     "CypherAnalyzer",
     "Diagnostic",
     "QuerySchema",
     "Severity",
     "Span",
+    "analyze_package",
+    "analyze_paths",
     "analyze_query",
     "caret_block",
+    "concurrency_findings",
     "errors",
     "graph_schema",
     "lint_paths",

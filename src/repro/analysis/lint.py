@@ -19,12 +19,26 @@ concurrency invariants the deterministic-replay pipeline depends on
     ``repro/runtime/clock.py`` (the clock implementations themselves).
     Sleeping or measuring elapsed time must go through the injected
     clock, or virtual-time runs silently burn real seconds.
-``conc/unlocked-shared-write``
-    In the threaded sections of ``crawlers/engine.py`` and
-    ``core/pipeline.py``: a write to shared mutable state (attribute or
-    subscript store, list/dict mutator call on a non-local object) from
-    a function reachable from a ``threading.Thread(target=...)`` without
-    an enclosing ``with <lock>:``.
+``conc/inconsistent-guard``
+    (interprocedural, :mod:`repro.analysis.concurrency`) a field written
+    both under and outside its guarding lock on a thread-reachable
+    path.  Supersedes the old per-file ``conc/unlocked-shared-write``
+    rule repo-wide: the guard map is inferred from every
+    ``named_lock`` site, not two hand-listed files.
+``conc/lock-order-cycle``
+    (interprocedural) a cycle in the static lock-acquisition-order
+    graph built from nested ``with <lock>:`` blocks across call-graph
+    edges.  The same hierarchy feeds the runtime
+    :class:`repro.runtime.LockOrderWitness` under pytest.
+``conc/blocking-under-lock``
+    (interprocedural) a blocking operation -- clock sleep/wait,
+    fetcher/transport I/O, fsync -- while holding a lock.  Journal and
+    checkpoint I/O under ``repro/storage/`` is sanctioned: write-ahead
+    durability under the engine lock is the design.
+``conc/unnamed-thread``
+    a ``threading.Thread(...)`` spawned without ``name=``.  Witness
+    reports, traces and the SLO alerter attribute events by thread
+    name; anonymous ``Thread-12`` labels make them unreadable.
 ``err/bare-except``
     ``except:`` with no exception type.
 ``err/silent-swallow``
@@ -66,6 +80,9 @@ import sys
 from pathlib import Path
 from typing import Iterable, TextIO
 
+from dataclasses import replace
+
+from repro.analysis.concurrency import ConcurrencyModel, analyze_paths
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.storage.atomic import atomic_write_text
 
@@ -78,8 +95,6 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 SANCTIONED_SUFFIXES = ("websim/rnd.py",)
 #: The clock implementations: the one sanctioned home of raw sleeps.
 RAW_SLEEP_SANCTIONED = ("runtime/clock.py",)
-#: Files whose threaded sections the concurrency rule covers.
-CONCURRENCY_SUFFIXES = ("crawlers/engine.py", "core/pipeline.py")
 #: Files whose dataclasses must stay JSON-serialisable (pipeline hand-offs).
 SERIALIZABLE_SUFFIXES = ("ontology/intermediate.py",)
 #: Files whose stage invocations must run under a tracer span.
@@ -92,20 +107,6 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
 _WALL_CLOCK_TIME = frozenset({"time", "time_ns"})
 _WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
 _RAW_SLEEP_TIME = frozenset({"sleep", "monotonic"})
-# List/dict mutators only: set-style names ("add", "discard") collide
-# with internally synchronised domain APIs (Frontier.add, Queue.put).
-_MUTATOR_METHODS = frozenset(
-    {
-        "append",
-        "extend",
-        "insert",
-        "remove",
-        "clear",
-        "update",
-        "setdefault",
-        "popitem",
-    }
-)
 
 
 def _has_suffix(path: Path, suffixes: tuple[str, ...]) -> bool:
@@ -179,8 +180,7 @@ class _FileLint:
         if ATOMIC_WRITE_SANCTIONED not in self.path.resolve().as_posix():
             self._check_atomic_writes(tree)
         self._check_exception_handling(tree)
-        if _has_suffix(self.path, CONCURRENCY_SUFFIXES):
-            self._check_concurrency(tree)
+        self._check_threads(tree)
         if _has_suffix(self.path, SERIALIZABLE_SUFFIXES):
             self._check_serializability(tree)
         if _has_suffix(self.path, OBS_STAGE_SUFFIXES):
@@ -404,30 +404,8 @@ class _FileLint:
 
     # -- concurrency -------------------------------------------------------
 
-    def _check_concurrency(self, tree: ast.Module) -> None:
-        defs: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                defs.setdefault(node.name, []).append(node)
-
-        threaded = self._threaded_functions(tree, defs)
-        for name in sorted(threaded):
-            for fn in defs.get(name, ()):
-                if fn.name in ("__init__", "__post_init__"):
-                    continue
-                self._scan_threaded(fn)
-
-    @staticmethod
-    def _threaded_functions(
-        tree: ast.Module, defs: dict[str, list]
-    ) -> set[str]:
-        """Thread targets plus everything they (transitively) call.
-
-        Resolution is by name -- ``self._process(...)`` marks every
-        function named ``_process`` in the file -- which over-
-        approximates, the right direction for a safety lint.
-        """
-        entries: set[str] = set()
+    def _check_threads(self, tree: ast.Module) -> None:
+        """Every spawned thread must carry a ``name=``."""
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -437,95 +415,14 @@ class _FileLint:
             )
             if not is_thread:
                 continue
-            for keyword in node.keywords:
-                if keyword.arg != "target":
-                    continue
-                value = keyword.value
-                if isinstance(value, ast.Name):
-                    entries.add(value.id)
-                elif isinstance(value, ast.Attribute):
-                    entries.add(value.attr)
-
-        threaded: set[str] = set()
-        frontier = list(entries)
-        while frontier:
-            name = frontier.pop()
-            if name in threaded or name not in defs:
+            if any(keyword.arg == "name" for keyword in node.keywords):
                 continue
-            threaded.add(name)
-            for fn in defs[name]:
-                for node in ast.walk(fn):
-                    if not isinstance(node, ast.Call):
-                        continue
-                    func = node.func
-                    if isinstance(func, ast.Name):
-                        frontier.append(func.id)
-                    elif isinstance(func, ast.Attribute):
-                        frontier.append(func.attr)
-        return threaded
-
-    def _scan_threaded(self, fn) -> None:
-        local_names = _local_names(fn)
-        for stmt in fn.body:
-            self._scan_stmt(stmt, local_names, guarded=False)
-
-    def _scan_stmt(self, node: ast.stmt, local_names: set[str], guarded: bool) -> None:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            return  # nested defs are scanned separately if threaded
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            inner = guarded or any(
-                _mentions_lock(item.context_expr) for item in node.items
+            self.add(
+                "conc/unnamed-thread",
+                "thread spawned without name=; witness reports, traces "
+                "and health alerts attribute events by thread name",
+                node,
             )
-            for stmt in node.body:
-                self._scan_stmt(stmt, local_names, inner)
-            return
-        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-            targets = (
-                node.targets
-                if isinstance(node, ast.Assign)
-                else [node.target]
-            )
-            for target in targets:
-                self._check_shared_store(target, local_names, guarded)
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.stmt):
-                self._scan_stmt(child, local_names, guarded)
-            elif isinstance(child, ast.expr) and not guarded:
-                self._scan_expr(child, local_names)
-
-    def _scan_expr(self, node: ast.expr, local_names: set[str]) -> None:
-        for call in ast.walk(node):
-            if not isinstance(call, ast.Call):
-                continue
-            func = call.func
-            if not (
-                isinstance(func, ast.Attribute)
-                and func.attr in _MUTATOR_METHODS
-            ):
-                continue
-            root = _root_name(func.value)
-            if root is not None and root not in local_names:
-                self.add(
-                    "conc/unlocked-shared-write",
-                    f"{root}.{func.attr}(...) mutates shared state from a "
-                    "threaded section without holding a lock",
-                    call,
-                )
-
-    def _check_shared_store(
-        self, target: ast.expr, local_names: set[str], guarded: bool
-    ) -> None:
-        if guarded or not isinstance(target, (ast.Attribute, ast.Subscript)):
-            return
-        root = _root_name(target)
-        if root is None or root in local_names:
-            return
-        self.add(
-            "conc/unlocked-shared-write",
-            f"write through {root!r} mutates shared state from a threaded "
-            "section without holding a lock",
-            target,
-        )
 
     # -- observability -----------------------------------------------------
 
@@ -675,25 +572,6 @@ def _is_dataclass(cls: ast.ClassDef) -> bool:
     return False
 
 
-def _root_name(node: ast.expr) -> str | None:
-    """The leftmost name of an attribute/subscript/call chain."""
-    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
-        node = node.func if isinstance(node, ast.Call) else node.value
-    return node.id if isinstance(node, ast.Name) else None
-
-
-def _mentions_lock(expr: ast.expr) -> bool:
-    for node in ast.walk(expr):
-        name = None
-        if isinstance(node, ast.Name):
-            name = node.id
-        elif isinstance(node, ast.Attribute):
-            name = node.attr
-        if name is not None and "lock" in name.lower():
-            return True
-    return False
-
-
 def _mentions_span(expr: ast.expr) -> bool:
     for node in ast.walk(expr):
         name = None
@@ -704,52 +582,6 @@ def _mentions_span(expr: ast.expr) -> bool:
         if name is not None and "span" in name.lower():
             return True
     return False
-
-
-def _local_names(fn) -> set[str]:
-    """Names bound by plain assignment inside ``fn`` (excluding params).
-
-    Parameters are deliberately *not* local: an object passed into a
-    worker is exactly the kind of shared state the rule exists for.
-    """
-    names: set[str] = set()
-    for node in _walk_shallow(fn):
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                names.update(_target_names(target))
-        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-            names.update(_target_names(node.target))
-        elif isinstance(node, (ast.For, ast.AsyncFor)):
-            names.update(_target_names(node.target))
-        elif isinstance(node, (ast.With, ast.AsyncWith)):
-            for item in node.items:
-                if item.optional_vars is not None:
-                    names.update(_target_names(item.optional_vars))
-        elif isinstance(node, ast.comprehension):
-            names.update(_target_names(node.target))
-    return names
-
-
-def _target_names(target: ast.expr) -> set[str]:
-    if isinstance(target, ast.Name):
-        return {target.id}
-    if isinstance(target, (ast.Tuple, ast.List)):
-        out: set[str] = set()
-        for element in target.elts:
-            out.update(_target_names(element))
-        return out
-    return set()
-
-
-def _walk_shallow(fn) -> Iterable[ast.AST]:
-    """Walk ``fn`` without descending into nested function/class defs."""
-    stack: list[ast.AST] = list(fn.body)
-    while stack:
-        node = stack.pop()
-        yield node
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            continue
-        stack.extend(ast.iter_child_nodes(node))
 
 
 # -- driver -----------------------------------------------------------------
@@ -772,6 +604,37 @@ def lint_paths(paths: Iterable[Path]) -> list[Diagnostic]:
         else:
             findings.extend(lint_file(path))
     return findings
+
+
+def concurrency_findings(
+    paths: Iterable[Path], root: Path | None = None
+) -> tuple[ConcurrencyModel, list[Diagnostic]]:
+    """The cross-file concurrency pass, with suppressions applied.
+
+    Returns the canonical lock-hierarchy model plus the interprocedural
+    ``conc/*`` findings, with ``# repro: allow[...]`` comments honoured
+    and paths rewritten relative to the working directory so they print
+    (and baseline) like per-file findings.
+    """
+    base = Path(root).resolve() if root is not None else DEFAULT_ROOT
+    model, diagnostics = analyze_paths(list(paths), root=base)
+    kept: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        file_path = base / (diagnostic.path or "")
+        try:
+            lines = file_path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        if diagnostic.line and _suppressed(
+            lines, diagnostic.line, diagnostic.rule
+        ):
+            continue
+        try:
+            display = os.path.relpath(file_path)
+        except ValueError:  # different drive on windows
+            display = str(file_path)
+        kept.append(replace(diagnostic, path=display))
+    return model, kept
 
 
 # -- baseline ---------------------------------------------------------------
@@ -877,11 +740,40 @@ def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
         action="store_true",
         help="record current findings as the new baseline and exit 0",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON document instead of text lines",
+    )
+    parser.add_argument(
+        "--concurrency-report",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the canonical lock-hierarchy model "
+        "(concurrency.json) to PATH",
+    )
     args = parser.parse_args(argv)
 
-    findings = lint_paths(args.paths or [DEFAULT_ROOT])
+    scan_paths = args.paths or [DEFAULT_ROOT]
+    conc_root = DEFAULT_ROOT
+    if args.paths:
+        first = Path(args.paths[0]).resolve()
+        if not first.is_relative_to(DEFAULT_ROOT):
+            conc_root = first if first.is_dir() else first.parent
+    findings = lint_paths(scan_paths)
+    model, conc_findings = concurrency_findings(scan_paths, root=conc_root)
+    findings = findings + conc_findings
+    if args.concurrency_report is not None:
+        atomic_write_text(args.concurrency_report, model.canonical_json())
+
     if args.write_baseline:
-        count = write_baseline(findings, args.baseline)
+        # conc/* findings are never baselined: the lock hierarchy must
+        # stay clean, not grandfathered (CONCURRENCY.md).
+        count = write_baseline(
+            [f for f in findings if not f.rule.startswith("conc/")],
+            args.baseline,
+        )
         print(
             f"baseline written: {count} entr{'y' if count == 1 else 'ies'} "
             f"({len(findings)} finding{'s' if len(findings) != 1 else ''}) "
@@ -891,10 +783,23 @@ def main(argv: list[str] | None = None, out: TextIO | None = None) -> int:
         return 0
 
     baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    baseline = {
+        key: count
+        for key, count in baseline.items()
+        if not key[1].startswith("conc/")
+    }
     new = apply_baseline(findings, baseline)
+    grandfathered = len(findings) - len(new)
+    if args.json:
+        payload = {
+            "findings": [diagnostic.to_dict() for diagnostic in new],
+            "total": len(new),
+            "grandfathered": grandfathered,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 1 if new else 0
     for diagnostic in new:
         print(diagnostic.format(), file=out)
-    grandfathered = len(findings) - len(new)
     summary = f"{len(new)} finding{'s' if len(new) != 1 else ''}"
     if grandfathered:
         summary += f" ({grandfathered} grandfathered by baseline)"

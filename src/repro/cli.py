@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from pathlib import Path
 
 from repro.core.config import SystemConfig
@@ -327,10 +328,11 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         server.stop()
         return 0
     try:  # pragma: no cover - interactive loop
-        import time
-
-        while True:
-            time.sleep(3600)  # repro: allow[raw-sleep]
+        # Park on the injected clock (never-set event) instead of a raw
+        # time.sleep, so the serve loop is virtual-clock clean.
+        shutdown = threading.Event()
+        while not shutdown.is_set():
+            system.clock.wait_for(shutdown, 3600.0)
     except KeyboardInterrupt:  # pragma: no cover
         server.stop()
     return 0

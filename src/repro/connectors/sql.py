@@ -24,6 +24,7 @@ from repro.connectors.base import Connector, IngestStats, registry
 from repro.ontology.entities import Entity, canonical_name, merge_key_for
 from repro.ontology.intermediate import CTIRecord
 from repro.ontology.refactor import refactor_record
+from repro.runtime import named_lock
 from repro.storage.engine import StorageEngine
 
 _SCHEMA = """
@@ -207,7 +208,7 @@ class SQLConnector(Connector):
             db_path = str(path) if path is not None else ":memory:"
             self._conn = sqlite3.connect(db_path, check_same_thread=False)
             self._conn.executescript(_SCHEMA)
-            self._lock = threading.Lock()
+            self._lock = named_lock("connectors.sql")
 
     @property
     def connection(self) -> sqlite3.Connection:

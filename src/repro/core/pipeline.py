@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs import NO_OBS, Obs
-from repro.runtime import REAL_CLOCK, Clock, Stopwatch
+from repro.runtime import REAL_CLOCK, Clock, Stopwatch, named_lock
 
 #: A stage function maps one item to one item, or None to filter it out.
 StageFn = Callable[[object], "object | None"]
@@ -59,7 +59,9 @@ class StageStats:
     filtered: int = 0
     errors: int = 0
     busy_seconds: float = 0.0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=lambda: named_lock("pipeline.stage_stats"), repr=False
+    )
 
     def record(self, elapsed: float, filtered: bool, error: bool) -> None:
         with self._lock:
@@ -147,13 +149,13 @@ class Pipeline:
         ]
         stats = [StageStats(stage.name) for stage in self.stages]
         errors: list[tuple[str, str]] = []
-        errors_lock = threading.Lock()
+        errors_lock = named_lock("pipeline.errors")
         threads: list[threading.Thread] = []
         watch = Stopwatch(self.clock)
 
         for index, stage in enumerate(self.stages):
             exited = [0]
-            exited_lock = threading.Lock()
+            exited_lock = named_lock("pipeline.exited")
             decoder = None if index == 0 else self.stages[index - 1].codec
 
             def worker(

@@ -23,7 +23,7 @@ from repro.crawlers.frontier import Frontier
 from repro.crawlers.state import CrawlState
 from repro.htmlparse import parse
 from repro.obs import NO_OBS, Obs
-from repro.runtime import REAL_CLOCK, Clock, Stopwatch
+from repro.runtime import REAL_CLOCK, Clock, Stopwatch, named_lock
 
 
 @dataclass
@@ -101,7 +101,7 @@ class CrawlEngine:
         self.obs = obs if obs is not None else NO_OBS
         self.health = health
         self._by_host = {crawler.host: crawler for crawler in self.crawlers}
-        self._result_lock = threading.Lock()
+        self._result_lock = named_lock("crawl.result")
 
     def _crawler_for(self, url: str) -> Crawler | None:
         return self._by_host.get(Fetcher.host_of(url))

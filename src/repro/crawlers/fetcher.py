@@ -17,7 +17,14 @@ from dataclasses import dataclass, field
 from repro.crawlers.ratelimit import HostRateLimiter
 from repro.crawlers.robots import RobotsPolicy, path_of
 from repro.obs import NO_OBS, Obs
-from repro.runtime import REAL_CLOCK, Backoff, Clock, RetryPolicy, Stopwatch
+from repro.runtime import (
+    REAL_CLOCK,
+    Backoff,
+    Clock,
+    RetryPolicy,
+    Stopwatch,
+    named_lock,
+)
 from repro.websim.network import Response, SimulatedTransport, TransportError
 
 
@@ -38,7 +45,9 @@ class FetchStats:
     retries: int = 0
     denied: int = 0
     failures: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=lambda: named_lock("crawl.fetch_stats"), repr=False
+    )
 
     def bump(self, **deltas: int) -> None:
         with self._lock:
@@ -108,7 +117,7 @@ class Fetcher:
         self.agent = agent
         self.stats = FetchStats()
         self._robots: dict[str, RobotsPolicy] = {}
-        self._robots_lock = threading.Lock()
+        self._robots_lock = named_lock("crawl.robots")
 
     @property
     def max_retries(self) -> int:

@@ -14,7 +14,7 @@ import collections
 import threading
 
 from repro.obs import NO_OBS, Obs
-from repro.runtime import REAL_CLOCK, Clock
+from repro.runtime import REAL_CLOCK, Clock, named_lock
 
 
 class Frontier:
@@ -27,7 +27,7 @@ class Frontier:
         self._normal: collections.deque[str] = collections.deque()
         self._seen: set[str] = set()
         self._in_flight = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("crawl.frontier")
         # clock-aware condition: waiting workers don't hold up virtual
         # time, and a notified worker counts as runnable immediately
         self._available = self._clock.condition(self._lock)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 
 from repro.obs import NO_OBS, Obs
-from repro.runtime import REAL_CLOCK, Clock
+from repro.runtime import REAL_CLOCK, Clock, named_lock
 
 
 class HostRateLimiter:
@@ -33,7 +33,7 @@ class HostRateLimiter:
         self._next_allowed: dict[str, float] = {}
         self._host_delay: dict[str, float] = {}
         self._policy: dict[str, tuple[float, float]] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("crawl.ratelimit")
 
     def set_host_delay(self, host: str, delay: float | None) -> None:
         """Apply a robots Crawl-delay for one host (None clears it)."""

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs import NO_OBS, Obs
-from repro.runtime import REAL_CLOCK, Backoff, Clock, Stopwatch
+from repro.runtime import REAL_CLOCK, Backoff, Clock, Stopwatch, named_lock
 
 
 @dataclass
@@ -71,6 +71,9 @@ class PeriodicScheduler:
         self.clock = clock if clock is not None else REAL_CLOCK
         self.obs = obs if obs is not None else NO_OBS
         self._stop = threading.Event()
+        # Guards every ``self.stats`` mutation: job threads spawned by
+        # run_in_threads update the shared counters concurrently.
+        self._stats_lock = named_lock("scheduler.stats")
 
     def _execute(self, job: JobSpec, cycle: int) -> JobOutcome:
         with self.obs.tracer.span(
@@ -96,7 +99,8 @@ class PeriodicScheduler:
             except Exception as error:  # reboot-after-failure semantics
                 last_error = f"{type(error).__name__}: {error}"
                 if attempts <= job.max_restarts:
-                    self.stats.reboots += 1
+                    with self._stats_lock:
+                        self.stats.reboots += 1
                     self.obs.metrics.inc("scheduler.reboots", job=job.name)
                     self.clock.sleep(schedule.delay(attempts - 1))
                 continue
@@ -109,7 +113,8 @@ class PeriodicScheduler:
                 elapsed=watch.elapsed,
                 value=value,
             )
-        self.stats.failures += 1
+        with self._stats_lock:
+            self.stats.failures += 1
         self.obs.metrics.inc("scheduler.failures", job=job.name)
         return JobOutcome(
             job=job.name,
@@ -129,11 +134,14 @@ class PeriodicScheduler:
             for job in self.jobs:
                 outcome = self._execute(job, cycle)
                 outcomes.append(outcome)
-                self.stats.runs += 1
-            self.stats.cycles += 1
+                with self._stats_lock:
+                    self.stats.runs += 1
+            with self._stats_lock:
+                self.stats.cycles += 1
             if self.interval and cycle + 1 < cycles:
                 self.clock.sleep(self.interval)
-        self.stats.outcomes.extend(outcomes)
+        with self._stats_lock:
+            self.stats.outcomes.extend(outcomes)
         return outcomes
 
     def run_in_threads(self, duration: float) -> list[JobOutcome]:
@@ -146,7 +154,6 @@ class PeriodicScheduler:
         whole window replays instantly and deterministically.
         """
         outcomes: list[JobOutcome] = []
-        lock = threading.Lock()
         # Every job thread plus the supervisor must be registered with
         # the clock before anyone sleeps, or virtual time could burn
         # the whole duration while a thread is still starting up.
@@ -158,7 +165,7 @@ class PeriodicScheduler:
                 cycle = 0
                 while not self._stop.is_set():
                     outcome = self._execute(job, cycle)
-                    with lock:
+                    with self._stats_lock:
                         outcomes.append(outcome)
                         self.stats.runs += 1
                     cycle += 1
@@ -166,7 +173,12 @@ class PeriodicScheduler:
                         return
 
         threads = [
-            threading.Thread(target=loop, args=(job,), daemon=True)
+            threading.Thread(
+                target=loop,
+                args=(job,),
+                name=f"sched-{job.name}",
+                daemon=True,
+            )
             for job in self.jobs
         ]
         for thread in threads:
@@ -177,7 +189,7 @@ class PeriodicScheduler:
             self._stop.set()
         for thread in threads:
             thread.join(timeout=10.0)
-        with lock:
+        with self._stats_lock:
             self.stats.outcomes.extend(outcomes)
             return list(outcomes)
 

@@ -21,6 +21,7 @@ import json
 import threading
 from pathlib import Path
 
+from repro.runtime import named_lock
 from repro.storage.atomic import atomic_write_json
 from repro.storage.engine import StorageEngine
 
@@ -84,7 +85,7 @@ class CrawlState:
         else:
             self.path = Path(path) if path is not None else None
             self._participant = CrawlParticipant()
-            self._lock = threading.Lock()
+            self._lock = named_lock("crawl.state")
             if self.path is not None and self.path.exists():
                 self._participant.load_snapshot(json.loads(self.path.read_text()))
 

@@ -18,6 +18,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.runtime.locks import named_lock
+
 
 @dataclass
 class Node:
@@ -67,7 +69,7 @@ class PropertyGraph:
         self._property_types: dict[str, set[str]] = {}
         self._node_ids = itertools.count(1)
         self._edge_ids = itertools.count(1)
-        self._lock = threading.RLock()
+        self._lock = named_lock("graphdb.store", reentrant=True)
 
     # -- node operations ------------------------------------------------
 

@@ -49,7 +49,11 @@ class Obs:
 
     __slots__ = ("tracer", "metrics")
 
-    def __init__(self, tracer, metrics):
+    def __init__(
+        self,
+        tracer: "Tracer | NullTracer",
+        metrics: "MetricsRegistry | NullMetrics",
+    ):
         self.tracer = tracer
         self.metrics = metrics
 

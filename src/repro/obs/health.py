@@ -46,7 +46,7 @@ from collections import deque
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.obs.metrics import DEFAULT_BUCKETS
-from repro.runtime import Clock
+from repro.runtime import Clock, named_lock
 
 #: Source states, in escalation order.
 HEALTHY = "healthy"
@@ -462,7 +462,7 @@ class HealthEngine:
         self._listeners: list = []
         # Reentrant: a health.verdict span finishing inside evaluate()
         # re-enters observe_span through the tracer's on_finish hook.
-        self._lock = threading.RLock()
+        self._lock = named_lock("obs.health", reentrant=True)
 
     # -- construction ------------------------------------------------------
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.runtime.locks import named_lock
+
 #: Default histogram bucket upper bounds (seconds); +Inf is implicit.
 DEFAULT_BUCKETS: tuple[float, ...] = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0)
 
@@ -77,7 +79,7 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self, buckets: dict[str, tuple[float, ...]] | None = None):
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.metrics")
         self._counters: dict[str, dict[str, int]] = {}
         self._gauges: dict[str, dict[str, float]] = {}
         self._histograms: dict[str, dict[str, _Histogram]] = {}

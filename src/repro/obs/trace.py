@@ -35,7 +35,7 @@ import collections
 import json
 import threading
 
-from repro.runtime import REAL_CLOCK, Clock
+from repro.runtime import REAL_CLOCK, Clock, named_lock
 
 
 class Span:
@@ -113,7 +113,7 @@ class Tracer:
         self.clock = clock if clock is not None else REAL_CLOCK
         self._finished: collections.deque[Span] = collections.deque(maxlen=ring)
         self._open: dict[int, Span] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.tracer")
         self._local = threading.local()
         #: Optional ``hook(span)`` invoked for every finished span,
         #: outside the tracer lock (the health engine tails the stream

@@ -30,15 +30,27 @@ from repro.runtime.clock import (
     VirtualClock,
     clock_from_name,
 )
+from repro.runtime.locks import (
+    WITNESS,
+    LockOrderViolation,
+    LockOrderWitness,
+    WitnessLock,
+    named_lock,
+)
 from repro.runtime.retry import Backoff, RetryPolicy
 
 __all__ = [
     "Backoff",
     "Clock",
+    "LockOrderViolation",
+    "LockOrderWitness",
     "REAL_CLOCK",
     "RealClock",
     "RetryPolicy",
     "Stopwatch",
     "VirtualClock",
+    "WITNESS",
+    "WitnessLock",
     "clock_from_name",
+    "named_lock",
 ]

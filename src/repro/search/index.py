@@ -15,6 +15,7 @@ import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.runtime import named_lock
 from repro.search.analyzer import analyze, analyze_query
 from repro.storage.atomic import atomic_write_text
 
@@ -58,7 +59,9 @@ class SearchIndex:
         self._documents: dict[str, dict[str, str]] = {}
         self._doc_lengths: dict[tuple[str, str], int] = {}  # (doc, field) -> terms
         self._field_totals: dict[str, int] = {}
-        self._lock = threading.RLock()
+        # Re-entrant: add() re-indexes an existing document by calling
+        # remove() while already holding the lock.
+        self._lock = named_lock("search.index", reentrant=True)
 
     # -- indexing --------------------------------------------------------
 

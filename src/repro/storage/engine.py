@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Iterable, Protocol, runtime_checkable
 
 from repro.obs import NO_OBS, Obs
+from repro.runtime import named_lock
 from repro.storage.atomic import atomic_write_text, fsync_directory
 from repro.storage.faults import NO_FAULTS, InjectedCrash
 
@@ -159,7 +160,9 @@ class StorageEngine:
             self._participants[participant.name] = participant
         self._faults = faults if faults is not None else NO_FAULTS
         self._fsync = fsync
-        self.lock = threading.RLock()
+        # Public and re-entrant: CrawlState and SQLConnector alias this
+        # lock in engine-attached mode, and transactions re-enter it.
+        self.lock = named_lock("storage.engine", reentrant=True)
         self._seq = 0
         self._generation = 1
         self._ingested: set[str] = set()

@@ -29,6 +29,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.core.system import SecurityKG
 from repro.graphdb.cypher import CypherAnalysisError
 from repro.graphdb.store import Edge, Node
+from repro.runtime import named_lock
 from repro.ui.explorer import GraphExplorer
 
 
@@ -56,9 +57,19 @@ class ExplorerAPI:
     def __init__(self, system: SecurityKG, explorer: GraphExplorer | None = None):
         self.system = system
         self.explorer = explorer or GraphExplorer(system.graph)
+        # Serialises request handling: ThreadingHTTPServer dispatches
+        # each request on its own thread, and GraphExplorer's view
+        # state (history, layout) is not internally synchronised.
+        self._lock = named_lock("ui.explorer")
 
     def handle(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
         """Dispatch one request; returns (status, payload)."""
+        with self._lock:
+            return self._handle_locked(method, path, body)
+
+    def _handle_locked(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
         body = body or {}
         try:
             if method == "GET" and path == "/api/graph":
@@ -181,7 +192,7 @@ class ExplorerServer:
 
     def start(self) -> "ExplorerServer":
         self._thread = threading.Thread(
-            target=self._server.serve_forever, daemon=True
+            target=self._server.serve_forever, name="ui-server", daemon=True
         )
         self._thread.start()
         return self

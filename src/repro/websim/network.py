@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.runtime import REAL_CLOCK, Clock, Stopwatch
+from repro.runtime import REAL_CLOCK, Clock, Stopwatch, named_lock
 from repro.websim.rnd import derive_rng
 from repro.websim.sites import Web
 
@@ -70,7 +70,10 @@ class TransportStats:
     total: int = 0
     failures: int = 0
     by_host: dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=lambda: named_lock("websim.transport_stats"),
+        repr=False,
+    )
 
     def record(self, host: str, failed: bool) -> None:
         with self._lock:
@@ -129,7 +132,7 @@ class SimulatedTransport:
         self.brownouts = list(brownouts or [])
         self.stats = TransportStats()
         self._attempts: dict[str, int] = {}
-        self._attempt_lock = threading.Lock()
+        self._attempt_lock = named_lock("websim.attempts")
 
     def _next_attempt(self, url: str) -> int:
         with self._attempt_lock:

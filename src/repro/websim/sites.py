@@ -20,6 +20,7 @@ import re
 import threading
 from dataclasses import dataclass, field
 
+from repro.runtime import named_lock
 from repro.websim.render import render_index, render_report
 from repro.websim.rnd import derive_rng
 from repro.websim.scenario import (
@@ -122,7 +123,9 @@ class Site:
     vendor: str = ""
     _articles: list[Article] | None = field(default=None, repr=False)
     _pages: dict[str, str] | None = field(default=None, repr=False)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=lambda: named_lock("websim.site"), repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.vendor:

@@ -42,3 +42,33 @@ def small_web():
     from repro.websim import build_default_web
 
     return build_default_web(scenario_count=12, reports_per_site=5)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_witness():
+    """Witness every named-lock acquisition against the static hierarchy.
+
+    Enabling the witness makes :func:`repro.runtime.named_lock` hand out
+    instrumented :class:`WitnessLock` wrappers for the whole session, so
+    the crawl-engine, storage-engine and UI suites all record their real
+    acquisition orders.  With the static closure installed, an
+    acquisition that *reverses* a known hierarchy edge raises
+    immediately; at teardown, every observed edge must additionally be a
+    subgraph of the static hierarchy from
+    :func:`repro.analysis.concurrency.analyze_package`.
+    """
+    from repro.analysis.concurrency import analyze_package
+    from repro.runtime import WITNESS
+
+    model, _ = analyze_package()
+    closure = model.closure()
+    WITNESS.reset()
+    WITNESS.enable(hierarchy=closure)
+    yield WITNESS
+    bad = WITNESS.violations(closure, known_names=model.lock_names())
+    WITNESS.disable()
+    assert not bad, (
+        "runtime lock acquisitions contradict the static lock hierarchy: "
+        f"{bad}; fix the ordering or the analyzer, never the baseline "
+        "(see CONCURRENCY.md)"
+    )

@@ -211,87 +211,55 @@ class TestExceptionRules:
         assert findings == []
 
 
-class TestConcurrencyRule:
-    def make(self, tmp_path, body: str):
-        return lint_source(tmp_path, body, name="crawlers/engine.py")
-
-    def test_unlocked_shared_write_in_thread_target(self, tmp_path):
-        findings = self.make(
-            tmp_path,
-            """
-            import threading
-
-            def run(self, results):
-                def work():
-                    results.append(1)
-                    self.done = True
-                threading.Thread(target=work).start()
-            """,
-        )
-        assert rules(findings) == ["conc/unlocked-shared-write"] * 2
-
-    def test_lock_guard_accepted(self, tmp_path):
-        findings = self.make(
-            tmp_path,
-            """
-            import threading
-
-            def run(self, results, lock):
-                def work():
-                    with lock:
-                        results.append(1)
-                        self.done = True
-                threading.Thread(target=work).start()
-            """,
-        )
-        assert findings == []
-
-    def test_transitive_callee_is_scanned(self, tmp_path):
-        findings = self.make(
-            tmp_path,
-            """
-            import threading
-
-            def run(self, results):
-                def helper():
-                    results.append(1)
-
-                def work():
-                    helper()
-                threading.Thread(target=work).start()
-            """,
-        )
-        assert rules(findings) == ["conc/unlocked-shared-write"]
-
-    def test_local_state_is_fine(self, tmp_path):
-        findings = self.make(
-            tmp_path,
-            """
-            import threading
-
-            def run(self):
-                def work():
-                    batch = []
-                    batch.append(1)
-                    counts = {}
-                    counts["x"] = 1
-                threading.Thread(target=work).start()
-            """,
-        )
-        assert findings == []
-
-    def test_rule_scoped_to_concurrency_files(self, tmp_path):
+class TestUnnamedThreadRule:
+    def test_thread_without_name_flagged(self, tmp_path):
         findings = lint_source(
             tmp_path,
             """
             import threading
 
-            def run(self, results):
-                def work():
-                    results.append(1)
+            def run(work):
+                threading.Thread(target=work, daemon=True).start()
+            """,
+        )
+        assert rules(findings) == ["conc/unnamed-thread"]
+
+    def test_named_thread_passes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import threading
+
+            def run(work):
+                threading.Thread(
+                    target=work, name="worker-0", daemon=True
+                ).start()
+            """,
+        )
+        assert findings == []
+
+    def test_bare_thread_import_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            from threading import Thread
+
+            def run(work):
+                Thread(target=work).start()
+            """,
+        )
+        assert rules(findings) == ["conc/unnamed-thread"]
+
+    def test_suppression_applies(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import threading
+
+            def run(work):
+                # repro: allow[unnamed-thread]
                 threading.Thread(target=work).start()
             """,
-            name="other/module.py",
         )
         assert findings == []
 
