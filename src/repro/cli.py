@@ -66,6 +66,7 @@ def build_system(args: argparse.Namespace) -> SecurityKG:
         connectors=["graph", "search"],
         recognizer=getattr(args, "recognizer", "gazetteer"),
         clock=getattr(args, "clock", None) or "real",
+        partitions=getattr(args, "partitions", None) or 1,
     )
     if args.config:
         config = SystemConfig.from_file(args.config)
@@ -73,6 +74,8 @@ def build_system(args: argparse.Namespace) -> SecurityKG:
             config.storage_path = args.state
         if getattr(args, "clock", None):
             config.clock = args.clock
+        if (getattr(args, "partitions", None) or 1) > 1:
+            config.partitions = args.partitions
     if getattr(args, "health", False) or getattr(args, "health_out", None):
         config.health = True
         rules = _load_health_rules(getattr(args, "health_rules", None))
@@ -207,13 +210,25 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         # without opening any state directory.
         from repro.obs.summary import (
             load_trace,
+            partition_breakdown,
+            render_partitions,
             render_report_trees,
             summarize,
             summarize_dict,
         )
 
         spans = load_trace(Path(args.from_trace))
-        if getattr(args, "report", None):
+        if getattr(args, "by_partition", False):
+            if as_json:
+                print(
+                    json.dumps(
+                        partition_breakdown(spans), indent=2, sort_keys=True
+                    ),
+                    file=out,
+                )
+            else:
+                print(render_partitions(spans), file=out)
+        elif getattr(args, "report", None):
             print(render_report_trees(spans, args.report), file=out)
         elif as_json:
             print(
@@ -364,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="runtime clock: wall time (default) or discrete-event "
             "virtual time (instant, deterministic crawls)",
         )
+        p.add_argument(
+            "--partitions",
+            type=int,
+            default=1,
+            help="storage shard count: 1 (default) is the classic "
+            "single-engine deployment; N > 1 hash-partitions the "
+            "stores across N engines with scatter-gather queries",
+        )
 
     def obs_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -439,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         help="with --from-trace: show the span trees of spans whose "
         "attributes match this substring (report id, URL, source)",
+    )
+    p.add_argument(
+        "--by-partition",
+        dest="by_partition",
+        action="store_true",
+        help="with --from-trace: per-partition drill-down of a "
+        "sharded run (span counts, durations, stored/skipped)",
     )
     p.add_argument(
         "--json",

@@ -52,6 +52,15 @@ class SystemConfig:
         When set, the graph, search index, crawl state and SQL mirror
         all persist under one crash-consistent journal and
         ``graph_path`` / ``crawl_state_path`` are ignored.
+    partitions:
+        Number of storage shards.  ``1`` (the default) is the classic
+        single-engine deployment, byte-identical to every release
+        before sharding existed.  With N > 1 the system hash-partitions
+        entities across N independent engines (each with its own
+        journal and checkpoint cycle under
+        ``storage_path/partition-<i>``, or in memory when
+        ``storage_path`` is ``None``), stores with one worker per
+        partition, and serves fusion/Cypher/search as scatter-gather.
     graph_path:
         Directory for standalone graph persistence (``None`` = in-memory;
         superseded by ``storage_path``).
@@ -93,6 +102,7 @@ class SystemConfig:
     crf_training_scenarios: int = 30
     crf_max_iterations: int = 60
     storage_path: str | None = None
+    partitions: int = 1
     graph_path: str | None = None
     crawl_state_path: str | None = None
     checker_min_chars: int = 120

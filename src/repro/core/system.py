@@ -43,6 +43,7 @@ from repro.obs.health import HealthEngine
 from repro.ontology.intermediate import CTIRecord, ReportRecord
 from repro.runtime import Clock, clock_from_name
 from repro.search.index import SearchHit, SearchIndexParticipant
+from repro.sharding import ShardSet, ShardedCrawlState, ShardedCypherEngine
 from repro.storage.engine import StorageEngine
 from repro.websim.network import SimulatedTransport
 from repro.websim.scenario import generate_report_content, make_scenarios
@@ -164,7 +165,22 @@ class SecurityKG:
             time_scale=self.config.time_scale,
             clock=self.clock,
         )
-        if self.config.storage_path is not None:
+        self.shards: ShardSet | None = None
+        if self.config.partitions > 1:
+            # Sharded mode: N independent engines (each a complete
+            # unified-mode vertical slice), one store worker per
+            # partition, scatter-gather for every read path.
+            self.shards = ShardSet(
+                self.config.partitions,
+                root=self.config.storage_path,
+                connectors=self.config.connectors,
+                faults=faults,
+                obs=self.obs,
+                clock=self.clock,
+            )
+            self.engine = None
+            self.state = ShardedCrawlState(self.shards)
+        elif self.config.storage_path is not None:
             # Unified mode: one engine, one journal, one atomic commit
             # across the graph, search index, crawl state and SQL mirror.
             participants = [
@@ -196,17 +212,26 @@ class SecurityKG:
             obs=self.obs,
         )
 
-        if self.config.storage_path is not None:
-            self.database = GraphDatabase(engine=self.engine)
-        else:
-            self.database = GraphDatabase(self.config.graph_path)
         self.connectors: dict[str, Connector] = {}
-        for name in self.config.connectors:
-            connector = self._build_connector(name)
-            connector.obs = self.obs
-            self.connectors[name] = connector
+        if self.shards is not None:
+            # each partition owns its connectors; the facade scatters
+            self.database = None
+        else:
+            if self.config.storage_path is not None:
+                self.database = GraphDatabase(engine=self.engine)
+            else:
+                self.database = GraphDatabase(self.config.graph_path)
+            for name in self.config.connectors:
+                connector = self._build_connector(name)
+                connector.obs = self.obs
+                self.connectors[name] = connector
         self.fusion = KnowledgeFusion()
-        self._cypher = CypherEngine(self.database.graph)
+        if self.shards is not None:
+            self._cypher = ShardedCypherEngine(
+                [partition.cypher for partition in self.shards.partitions]
+            )
+        else:
+            self._cypher = CypherEngine(self.database.graph)
         self._last_skipped = 0
 
     # -- wiring ----------------------------------------------------------
@@ -265,6 +290,11 @@ class SecurityKG:
 
     @property
     def graph(self):
+        """The knowledge graph -- in sharded mode a detached union copy
+        of every partition (read-only snapshot; see
+        :meth:`ShardSet.merged_graph`)."""
+        if self.shards is not None:
+            return self.shards.merged_graph()
         return self.database.graph
 
     def crawl(self, max_articles: int | None = None) -> CrawlResult:
@@ -330,7 +360,17 @@ class SecurityKG:
         ``SystemReport.reports_skipped``), unmarked ones re-ingest.
         Leftover staged crawl state (rejected reports' URLs, crawl
         timestamps) is flushed at the end of the batch.
+
+        In sharded mode the batch fans out to one worker per partition,
+        each committing to its own engine with the same per-report
+        atomicity and ingest markers (see :meth:`ShardSet.store`).
         """
+        if self.shards is not None:
+            with self.obs.tracer.span("store", records=len(records)) as span:
+                outcome = self.shards.store(records, parent_span=span)
+            self.obs.metrics.inc("storage.reports_skipped", outcome.skipped)
+            self._last_skipped = outcome.skipped
+            return outcome.ingest
         totals = {
             name: IngestStats() for name in self.connectors
         }
@@ -392,7 +432,10 @@ class SecurityKG:
     def run_fusion(self) -> FusionReport:
         """Off-pipeline knowledge fusion over the stored graph."""
         with self.obs.tracer.span("fuse") as span:
-            report = self.fusion.run(self.database.graph)
+            if self.shards is not None:
+                report = self.shards.fuse(self.fusion)
+            else:
+                report = self.fusion.run(self.database.graph)
             span.set("groups_merged", report.groups_merged)
         self.obs.metrics.inc("fusion.groups_merged", report.groups_merged)
         self.obs.metrics.inc("fusion.aliases_resolved", report.aliases_resolved)
@@ -403,6 +446,23 @@ class SecurityKG:
         """Refresh the graph-size gauges (skipped when metrics are off)."""
         metrics = self.obs.metrics
         if not metrics.enabled:
+            return
+        if self.shards is not None:
+            stats = self.shards.stats()
+            metrics.set_gauge("graph.nodes", stats["nodes"])
+            metrics.set_gauge("graph.edges", stats["edges"])
+            for label, count in stats["labels"].items():
+                metrics.set_gauge("graph.nodes_by_label", count, label=label)
+            for edge_type, count in stats["edge_types"].items():
+                metrics.set_gauge("graph.edges_by_type", count, type=edge_type)
+            for entry in stats["partitions"]:
+                partition = str(entry["partition"])
+                metrics.set_gauge(
+                    "graph.nodes", entry["nodes"], partition=partition
+                )
+                metrics.set_gauge(
+                    "graph.edges", entry["edges"], partition=partition
+                )
             return
         graph = self.graph
         metrics.set_gauge("graph.nodes", graph.node_count)
@@ -424,6 +484,10 @@ class SecurityKG:
 
     def keyword_search(self, query: str, limit: int = 10) -> list[SearchHit]:
         """Keyword search over collected reports (the Elasticsearch path)."""
+        if self.shards is not None:
+            if "search" not in self.config.connectors:
+                raise RuntimeError("the 'search' connector is not configured")
+            return self.shards.search(query, limit=limit)
         search = self.connectors.get("search")
         if not isinstance(search, SearchConnector):
             raise RuntimeError("the 'search' connector is not configured")
@@ -441,7 +505,10 @@ class SecurityKG:
         return self.health.report()
 
     def stats(self) -> dict[str, object]:
-        """Knowledge-graph size summary."""
+        """Knowledge-graph size summary (sharded mode adds a
+        ``"partitions"`` per-shard breakdown)."""
+        if self.shards is not None:
+            return self.shards.stats()
         return {
             "nodes": self.graph.node_count,
             "edges": self.graph.edge_count,
@@ -452,11 +519,17 @@ class SecurityKG:
     # -- lifecycle --------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Compact the storage engine's journal (unified mode)."""
+        """Compact the storage journal(s) (every partition when sharded)."""
+        if self.shards is not None:
+            self.shards.checkpoint()
+            return
         self.engine.checkpoint()
 
     def close(self) -> None:
         """Release storage resources (flushes healthy staged state)."""
+        if self.shards is not None:
+            self.shards.close()
+            return
         self.engine.close()
         if self.database.engine is not self.engine:
             self.database.close()

@@ -86,6 +86,18 @@ class CypherEngine:
             return []
         return self._execute_match(parsed)
 
+    def execute(self, parsed: ast.Query) -> list[ResultRow]:
+        """Execute an already-parsed (and already-analyzed) query.
+
+        The scatter-gather engine parses and analyzes once, then runs
+        the same AST against every partition through this entry point.
+        """
+        if isinstance(parsed, ast.CreateQuery):
+            self._execute_create(parsed)
+            self._schema_cache = None
+            return []
+        return self._execute_match(parsed)
+
     def analyze(self, query: str | ast.Query, source: str = ""):
         """Diagnostics for a query against this graph's schema."""
         # Imported lazily: repro.analysis.cypher_check imports the

@@ -14,6 +14,7 @@ Persistence (snapshot + write-ahead log) lives in
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -53,10 +54,30 @@ INDEXED_PROPERTIES: frozenset[str] = frozenset(
 )
 
 
-class PropertyGraph:
-    """Mutable property graph with label/property/adjacency indexes."""
+def _interned_props(properties: dict[str, object] | None) -> dict[str, object]:
+    """Copy a property map, interning its keys.
 
-    def __init__(self):
+    The same handful of keys ("name", "merge_key", "reports", ...)
+    recurs across every node and edge in the graph; interning collapses
+    each to a single string object so the hot index/property dicts
+    compare keys by pointer before falling back to character
+    comparison, and the per-node key storage is shared.
+    """
+    if not properties:
+        return {}
+    return {sys.intern(key): value for key, value in properties.items()}
+
+
+class PropertyGraph:
+    """Mutable property graph with label/property/adjacency indexes.
+
+    ``id_base`` offsets the node/edge id counters (first id is
+    ``id_base + 1``); a sharded deployment gives each partition a
+    disjoint id range so ids stay globally unique across partitions and
+    scatter-gather results can be merged without renumbering.
+    """
+
+    def __init__(self, id_base: int = 0):
         self._nodes: dict[int, Node] = {}
         self._edges: dict[int, Edge] = {}
         self._out: dict[int, list[int]] = {}
@@ -67,8 +88,9 @@ class PropertyGraph:
         # properties alike); grows monotonically, feeding the Cypher
         # semantic analyzer without a per-query graph scan.
         self._property_types: dict[str, set[str]] = {}
-        self._node_ids = itertools.count(1)
-        self._edge_ids = itertools.count(1)
+        self.id_base = int(id_base)
+        self._node_ids = itertools.count(self.id_base + 1)
+        self._edge_ids = itertools.count(self.id_base + 1)
         self._lock = named_lock("graphdb.store", reentrant=True)
 
     # -- node operations ------------------------------------------------
@@ -78,7 +100,8 @@ class PropertyGraph:
     ) -> Node:
         """Insert a node and index it; returns the stored node."""
         with self._lock:
-            node = Node(next(self._node_ids), label, dict(properties or {}))
+            label = sys.intern(label)
+            node = Node(next(self._node_ids), label, _interned_props(properties))
             self._nodes[node.node_id] = node
             self._out[node.node_id] = []
             self._in[node.node_id] = []
@@ -97,7 +120,8 @@ class PropertyGraph:
         with self._lock:
             if node_id in self._nodes:
                 raise KeyError(f"node {node_id} already exists")
-            node = Node(node_id, label, dict(properties))
+            label = sys.intern(label)
+            node = Node(node_id, label, _interned_props(properties))
             self._nodes[node_id] = node
             self._out[node_id] = []
             self._in[node_id] = []
@@ -142,7 +166,7 @@ class PropertyGraph:
         with self._lock:
             node = self.node(node_id)
             self._deindex_node_properties(node)
-            node.properties.update(properties)
+            node.properties.update(_interned_props(properties))
             self._index_node_properties(node)
             return node
 
@@ -174,7 +198,10 @@ class PropertyGraph:
                 raise KeyError(f"no source node {src}")
             if dst not in self._nodes:
                 raise KeyError(f"no target node {dst}")
-            edge = Edge(next(self._edge_ids), edge_type, src, dst, dict(properties or {}))
+            edge = Edge(
+                next(self._edge_ids), sys.intern(edge_type), src, dst,
+                _interned_props(properties),
+            )
             self._observe_properties(edge.properties)
             self._edges[edge.edge_id] = edge
             self._out[src].append(edge.edge_id)
@@ -200,7 +227,7 @@ class PropertyGraph:
     def set_edge_properties(self, edge_id: int, properties: dict[str, object]) -> Edge:
         with self._lock:
             edge = self.edge(edge_id)
-            edge.properties.update(properties)
+            edge.properties.update(_interned_props(properties))
             self._observe_properties(edge.properties)
             return edge
 

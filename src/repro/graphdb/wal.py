@@ -43,8 +43,12 @@ class GraphParticipant:
 
     name = "graph"
 
-    def __init__(self) -> None:
-        self.graph = PropertyGraph()
+    def __init__(self, id_base: int = 0) -> None:
+        # ``id_base`` gives a sharded partition its disjoint id range;
+        # it must survive snapshot reloads and resets so replayed ids
+        # keep the same offset.
+        self.id_base = int(id_base)
+        self.graph = PropertyGraph(id_base=self.id_base)
 
     def apply(self, ops: list[dict]) -> GraphApplyOutcome:
         id_map: dict[int, int] = {}
@@ -90,7 +94,7 @@ class GraphParticipant:
     def load_snapshot(self, data: dict) -> None:
         # Node ids must survive restarts verbatim: journal records
         # written after the snapshot reference them.
-        graph = PropertyGraph()
+        graph = PropertyGraph(id_base=self.id_base)
         for node_data in data.get("nodes", []):
             graph.restore_node(
                 int(node_data["id"]), node_data["label"], node_data["props"]
@@ -105,7 +109,7 @@ class GraphParticipant:
         self.graph = graph
 
     def reset(self) -> None:
-        self.graph = PropertyGraph()
+        self.graph = PropertyGraph(id_base=self.id_base)
 
 
 class Transaction:

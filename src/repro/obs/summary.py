@@ -67,6 +67,58 @@ def summarize(spans: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def partition_breakdown(spans: list[dict]) -> dict:
+    """Per-partition aggregation of a sharded run's trace.
+
+    Groups every span carrying a ``partition`` attribute (the
+    ``store.shard`` worker spans of an N-partition deployment) and
+    aggregates span counts, durations and the ``stored`` / ``skipped``
+    totals the workers stamp on their spans.  Returns an empty dict for
+    single-partition traces.
+    """
+    partitions: dict[str, dict] = {}
+    for span in spans:
+        attrs = span.get("attrs", {})
+        if "partition" not in attrs:
+            continue
+        entry = partitions.setdefault(
+            str(attrs["partition"]),
+            {
+                "spans": 0,
+                "total_s": 0.0,
+                "stored": 0,
+                "skipped": 0,
+                "names": {},
+            },
+        )
+        entry["spans"] += 1
+        entry["total_s"] += max(0.0, span["end"] - span["start"])
+        entry["stored"] += int(attrs.get("stored", 0) or 0)
+        entry["skipped"] += int(attrs.get("skipped", 0) or 0)
+        entry["names"][span["name"]] = entry["names"].get(span["name"], 0) + 1
+    return {
+        key: partitions[key]
+        for key in sorted(partitions, key=lambda k: (len(k), k))
+    }
+
+
+def render_partitions(spans: list[dict]) -> str:
+    """Text table for ``stats --from-trace --by-partition``."""
+    breakdown = partition_breakdown(spans)
+    if not breakdown:
+        return "no partition-labelled spans (single-partition trace?)"
+    lines = [
+        f"{'partition':>9}  {'spans':>6}  {'total_s':>9}  "
+        f"{'stored':>6}  {'skipped':>7}"
+    ]
+    for key, entry in breakdown.items():
+        lines.append(
+            f"{key:>9}  {entry['spans']:>6}  {entry['total_s']:>9.4f}  "
+            f"{entry['stored']:>6}  {entry['skipped']:>7}"
+        )
+    return "\n".join(lines)
+
+
 def _matches(span: dict, needle: str) -> bool:
     return any(
         needle in str(value) for value in span.get("attrs", {}).values()
@@ -126,6 +178,8 @@ def render_report_trees(spans: list[dict], needle: str) -> str:
 
 __all__ = [
     "load_trace",
+    "partition_breakdown",
+    "render_partitions",
     "render_report_trees",
     "render_tree",
     "summarize",

@@ -1,0 +1,28 @@
+"""Multi-partition sharding: hash placement, N engines, scatter-gather.
+
+See :mod:`repro.sharding.router` for placement,
+:mod:`repro.sharding.shards` for the partition set and the store
+fan-out, and :mod:`repro.sharding.query` for scatter-gather Cypher.
+"""
+
+from repro.sharding.query import ShardedCypherEngine
+from repro.sharding.router import ShardRouter
+from repro.sharding.shards import (
+    ID_STRIDE,
+    ShardPartition,
+    ShardSet,
+    ShardStoreOutcome,
+    ShardWorkerStats,
+    ShardedCrawlState,
+)
+
+__all__ = [
+    "ID_STRIDE",
+    "ShardPartition",
+    "ShardRouter",
+    "ShardSet",
+    "ShardStoreOutcome",
+    "ShardWorkerStats",
+    "ShardedCrawlState",
+    "ShardedCypherEngine",
+]

@@ -1,0 +1,272 @@
+"""Scatter-gather Cypher execution over N graph partitions.
+
+The :class:`ShardedCypherEngine` keeps the single-engine contract --
+``run(query, strict=None)`` returning :class:`ResultRow` lists with the
+same DISTINCT / ORDER BY / SKIP / LIMIT semantics -- but executes in
+three phases:
+
+1. **Analyze once** against the *union* schema of every partition (plus
+   the ontology), so strict mode sees the same vocabulary a
+   single-partition deployment would.
+2. **Scatter**: the parsed query runs on every partition with the
+   gather-owned clauses stripped (ORDER BY / DISTINCT / SKIP; LIMIT is
+   pushed down only when no reordering can change which rows survive).
+   Aggregates run as per-partition partials.
+3. **Gather** with canonical ordering: partition results concatenate in
+   partition order, aggregate partials merge by group key, then ORDER
+   BY / DISTINCT / SKIP / LIMIT apply once, globally.  Seeded
+   virtual-clock runs therefore produce byte-identical results.
+
+Cross-partition entity identity: the same logical entity (one
+``merge_key``) may exist on several partitions when relations pulled it
+into records anchored elsewhere.  Gather-side grouping and DISTINCT
+treat nodes with equal ``(label, merge_key)`` as the same value, so
+entity-keyed results match the single-partition answer.
+
+Known limitation: ``count(DISTINCT ...)`` cannot be merged from
+per-partition partials (partitions may have seen overlapping values)
+and raises a clear :class:`CypherRuntimeError` when N > 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.graphdb.cypher import ast
+from repro.graphdb.cypher.executor import (
+    CypherAnalysisError,
+    CypherEngine,
+    CypherRuntimeError,
+    ResultRow,
+    _contains_count,
+    _sort_key,
+)
+from repro.graphdb.cypher.parser import parse
+from repro.graphdb.store import Edge, Node
+from repro.sharding.router import ShardRouter
+
+
+def _gather_key(value: object) -> object:
+    """Partition-independent identity for gather-side grouping.
+
+    Nodes compare by ``(label, merge_key)`` when a merge key exists (the
+    connector stamps one on every entity node), falling back to the
+    globally-unique node id; everything else matches the single-engine
+    ``_hashable`` semantics.
+    """
+    if isinstance(value, Node):
+        merge = value.properties.get("merge_key")
+        if isinstance(merge, str):
+            return ("__node__", value.label, merge)
+        return ("__node__", value.node_id)
+    if isinstance(value, Edge):
+        return ("__edge__", value.edge_id)
+    if isinstance(value, list):
+        return tuple(_gather_key(v) for v in value)
+    return value
+
+
+def _dedupe(values: list[object]) -> list[object]:
+    """Order-preserving dedup by gather key (collect(DISTINCT ...))."""
+    seen: list[object] = []
+    out: list[object] = []
+    for value in values:
+        key = _gather_key(value)
+        if key in seen:
+            continue
+        seen.append(key)
+        out.append(value)
+    return out
+
+
+def _has_count_distinct(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Count):
+        return expr.distinct
+    if isinstance(expr, (ast.And, ast.Or)):
+        return _has_count_distinct(expr.left) or _has_count_distinct(expr.right)
+    if isinstance(expr, ast.Not):
+        return _has_count_distinct(expr.operand)
+    if isinstance(expr, ast.Compare):
+        return _has_count_distinct(expr.left) or (
+            expr.right is not None and _has_count_distinct(expr.right)
+        )
+    return False
+
+
+class ShardedCypherEngine:
+    """The Cypher facade of a sharded deployment.
+
+    Holds one per-partition :class:`CypherEngine` (strictness disabled
+    on the partitions -- analysis happens once here, against the union
+    schema).  With a single partition it delegates wholesale, so N=1
+    behaviour is exactly the single-engine behaviour.
+    """
+
+    def __init__(self, engines: list[CypherEngine], strict: bool = True):
+        if not engines:
+            raise ValueError("at least one partition engine is required")
+        self._engines = list(engines)
+        self.strict = strict
+        self._schema_cache: tuple[tuple, object] | None = None
+
+    # -- analysis ------------------------------------------------------
+
+    def analyze(self, query: str | ast.Query, source: str = ""):
+        """Diagnostics against the union of every partition's schema."""
+        from repro.analysis.cypher_check import (
+            CypherAnalyzer,
+            graph_schema,
+            ontology_schema,
+        )
+
+        key = tuple(
+            (engine.graph.node_count, engine.graph.edge_count)
+            for engine in self._engines
+        )
+        if self._schema_cache is None or self._schema_cache[0] != key:
+            schema = ontology_schema()
+            for engine in self._engines:
+                schema = schema.merged_with(graph_schema(engine.graph))
+            self._schema_cache = (key, schema)
+        return CypherAnalyzer(self._schema_cache[1]).analyze(query, source)
+
+    def _check(self, parsed: ast.Query, source: str) -> None:
+        from repro.analysis.diagnostics import errors
+
+        failures = errors(self.analyze(parsed, source))
+        if failures:
+            raise CypherAnalysisError(failures, source)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, query: str, strict: bool | None = None) -> list[ResultRow]:
+        parsed = parse(query)
+        if self.strict if strict is None else strict:
+            self._check(parsed, query)
+        if len(self._engines) == 1:
+            return self._engines[0].execute(parsed)
+        if isinstance(parsed, ast.CreateQuery):
+            return self._engines[self._create_target(parsed)].execute(parsed)
+        return self._scatter_match(parsed)
+
+    def _create_target(self, parsed: ast.CreateQuery) -> int:
+        """Route a CREATE to the partition owning its first node's
+        entity key (deterministic; partition 0 when nameless)."""
+        router = ShardRouter(len(self._engines))
+        first = parsed.paths[0].nodes[0]
+        props = dict(first.properties)
+        name = props.get("name") or props.get("merge_key")
+        if isinstance(name, str) and name:
+            return router.partition_for_entity(first.label or "Node", name)
+        return 0
+
+    def _scatter_match(self, query: ast.MatchQuery) -> list[ResultRow]:
+        has_aggregate = any(_contains_count(item.expr) for item in query.returns)
+        if has_aggregate:
+            for item in query.returns:
+                if _has_count_distinct(item.expr):
+                    raise CypherRuntimeError(
+                        "count(DISTINCT ...) cannot be merged across "
+                        "partitions; collect(DISTINCT ...) and plain "
+                        "count(...) are supported"
+                    )
+        local_limit = None
+        if (
+            not has_aggregate
+            and not query.order_by
+            and not query.distinct
+            and query.limit is not None
+        ):
+            # no reordering/dedup downstream: each partition can stop
+            # after the rows that could possibly survive skip+limit
+            local_limit = (query.skip or 0) + query.limit
+        local = replace(
+            query, distinct=False, order_by=[], skip=None, limit=local_limit
+        )
+        per_partition = [engine.execute(local) for engine in self._engines]
+
+        if has_aggregate:
+            rows = self._merge_aggregates(query, per_partition)
+        else:
+            rows = [row for partial in per_partition for row in partial]
+
+        for expr, ascending in reversed(query.order_by):
+            # gather-side ordering resolves against projected values
+            # only (per-partition bindings are gone); _eval_projected
+            # raises the canonical "must reference returned values"
+            # error otherwise
+            rows.sort(
+                key=lambda row: _sort_key(
+                    self._engines[0]._eval_projected(expr, row)
+                ),
+                reverse=not ascending,
+            )
+        if query.distinct:
+            rows = self._distinct(rows)
+        if query.skip:
+            rows = rows[query.skip :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    def _merge_aggregates(
+        self,
+        query: ast.MatchQuery,
+        per_partition: list[list[ResultRow]],
+    ) -> list[ResultRow]:
+        """Merge per-partition aggregate partials by group key.
+
+        Counts sum (a row contributes to exactly one partition's
+        partial), collects concatenate in partition order (DISTINCT
+        collects dedupe across partitions), and group values keep the
+        first partition's representative.
+        """
+        group_aliases = [
+            item.alias for item in query.returns if not _contains_count(item.expr)
+        ]
+        agg_items = [
+            item for item in query.returns if _contains_count(item.expr)
+        ]
+        merged: dict[tuple, ResultRow] = {}
+        for partial in per_partition:
+            for row in partial:
+                key = tuple(
+                    _gather_key(row.values[alias]) for alias in group_aliases
+                )
+                base = merged.get(key)
+                if base is None:
+                    merged[key] = ResultRow(dict(row.values))
+                    continue
+                for item in agg_items:
+                    alias = item.alias
+                    if isinstance(item.expr, ast.Count):
+                        base.values[alias] = (base.values[alias] or 0) + (
+                            row.values[alias] or 0
+                        )
+                    elif isinstance(item.expr, ast.Collect):
+                        base.values[alias] = list(base.values[alias]) + list(
+                            row.values[alias]
+                        )
+        rows = list(merged.values())
+        for item in agg_items:
+            if isinstance(item.expr, ast.Collect) and item.expr.distinct:
+                for row in rows:
+                    row.values[item.alias] = _dedupe(row.values[item.alias])
+        return rows
+
+    @staticmethod
+    def _distinct(rows: list[ResultRow]) -> list[ResultRow]:
+        seen: list[object] = []
+        out: list[ResultRow] = []
+        for row in rows:
+            key = tuple(
+                sorted((k, _gather_key(v)) for k, v in row.values.items())
+            )
+            if key in seen:
+                continue
+            seen.append(key)
+            out.append(row)
+        return out
+
+
+__all__ = ["ShardedCypherEngine"]

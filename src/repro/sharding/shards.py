@@ -1,0 +1,457 @@
+"""N independent storage partitions behind one store/search/fusion facade.
+
+Each :class:`ShardPartition` is a complete vertical slice of the
+storage stage: its own :class:`~repro.storage.engine.StorageEngine`
+(journal, snapshot/manifest generations, checkpoint cycle, ingest
+markers, crash points) with its own graph / search-index / crawl-state
+(and optionally SQL) participants, connectors and per-partition Cypher
+engine.  The :class:`ShardSet` owns N of them plus the
+:class:`~repro.sharding.router.ShardRouter` that decides placement, and
+exposes the scatter-gather operations every facade layer builds on:
+
+* ``store()`` fans a record batch out to one worker thread per
+  partition; each worker commits its records to *its* engine only, so a
+  crash injected on one partition loses in-flight work on that shard
+  alone while the others run to completion (the E21 isolation claim);
+* ``search()`` / ``fuse()`` / ``stats()`` scan every partition and
+  merge with a canonical ordering, so seeded virtual-clock runs stay
+  byte-identical no matter how the OS scheduled the workers.
+
+Graph ids are globally unique: partition ``i`` hands out ids from
+``i * 2**40 + 1``, so merged query results never need renumbering.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.connectors.base import Connector, IngestStats
+from repro.connectors.graph import GraphConnector
+from repro.connectors.searchconn import SearchConnector
+from repro.connectors.sql import SQLConnector, SQLParticipant
+from repro.crawlers.state import CrawlParticipant, CrawlState
+from repro.fusion.fuse import FusionReport, KnowledgeFusion
+from repro.graphdb.cypher.executor import CypherEngine
+from repro.graphdb.store import PropertyGraph
+from repro.graphdb.wal import GraphDatabase, GraphParticipant
+from repro.obs import NO_OBS, Obs
+from repro.ontology.intermediate import CTIRecord
+from repro.runtime import Clock, clock_from_name, named_lock
+from repro.search.index import SearchHit, SearchIndexParticipant
+from repro.sharding.router import ShardRouter
+from repro.storage.engine import StorageEngine
+from repro.storage.faults import InjectedCrash
+
+#: Id-range stride between partitions (2**40 ids each -- effectively
+#: inexhaustible per shard, and the partition of an id is ``id >> 40``).
+ID_STRIDE = 1 << 40
+
+
+class ShardWorkerStats:
+    """Per-partition ingest counters behind that partition's own lock.
+
+    The ``shard.<n>.stats`` locks are the per-partition tier of the
+    lock hierarchy: the analyzer records the family as the single
+    canonical name ``shard.*.stats``, and the runtime witness allows
+    same-family nesting only in ascending instance order.
+    """
+
+    def __init__(self, index: int):
+        self.index = index
+        self._lock = named_lock(f"shard.{index}.stats")
+        self.stored = 0
+        self.skipped = 0
+
+    def record(self, stored: int = 0, skipped: int = 0) -> None:
+        with self._lock:
+            self.stored += stored
+            self.skipped += skipped
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {"stored": self.stored, "skipped": self.skipped}
+
+
+@dataclass
+class ShardStoreOutcome:
+    """What one (possibly partial) store fan-out accomplished."""
+
+    ingest: dict[str, IngestStats] = field(default_factory=dict)
+    stored: int = 0
+    skipped: int = 0
+
+
+class ShardPartition:
+    """One shard: engine + participants + connectors + query engine."""
+
+    def __init__(
+        self,
+        index: int,
+        path: str | Path | None,
+        connector_names: list[str],
+        faults=None,
+        obs: Obs = NO_OBS,
+        fsync: bool = True,
+    ):
+        self.index = index
+        participants = [
+            GraphParticipant(id_base=index * ID_STRIDE),
+            SearchIndexParticipant(),
+            CrawlParticipant(),
+        ]
+        if "sql" in connector_names:
+            participants.append(SQLParticipant())
+        self.engine = StorageEngine(
+            path, participants, faults=faults, fsync=fsync, obs=obs
+        )
+        self.database = GraphDatabase(engine=self.engine)
+        self.state = CrawlState(engine=self.engine)
+        self.connectors: dict[str, Connector] = {}
+        for name in connector_names:
+            connector = self._build_connector(name)
+            connector.obs = obs
+            self.connectors[name] = connector
+        self.cypher = CypherEngine(self.database.graph)
+        self.stats = ShardWorkerStats(index)
+
+    def _build_connector(self, name: str) -> Connector:
+        if name == "graph":
+            return GraphConnector(self.database)
+        if name == "search":
+            return SearchConnector(engine=self.engine)
+        if name == "sql":
+            return SQLConnector(engine=self.engine)
+        from repro.connectors.base import registry
+
+        return registry.create(name)
+
+    @property
+    def graph(self) -> PropertyGraph:
+        return self.database.graph
+
+    @property
+    def search_index(self):
+        return self.engine.participant(SearchIndexParticipant.name).index
+
+
+class ShardSet:
+    """N partitions plus the scatter-gather operations over them.
+
+    Parameters
+    ----------
+    partitions:
+        Number of shards (>= 1).
+    root:
+        Directory holding one ``partition-<i>`` engine directory per
+        shard; ``None`` keeps every partition in memory.
+    connectors:
+        Connector names each partition instantiates (same vocabulary as
+        ``SystemConfig.connectors``).
+    faults:
+        Optional :class:`~repro.storage.CrashInjector`, armed on
+        partition 0 only -- the deterministic "kill one shard" story
+        the E21 isolation benchmark measures.
+    clock:
+        Runtime clock; store workers register with it so a virtual
+        clock advances through modelled commit latency deterministically.
+    """
+
+    def __init__(
+        self,
+        partitions: int,
+        root: str | Path | None = None,
+        connectors: list[str] | None = None,
+        faults=None,
+        obs: Obs | None = None,
+        clock: Clock | None = None,
+        fsync: bool = True,
+    ):
+        self.obs = obs if obs is not None else NO_OBS
+        self.clock = clock if clock is not None else clock_from_name("real")
+        self.router = ShardRouter(partitions)
+        self.connector_names = list(
+            connectors if connectors is not None else ["graph", "search"]
+        )
+        self.partitions: list[ShardPartition] = [
+            ShardPartition(
+                index,
+                None if root is None else Path(root) / f"partition-{index}",
+                self.connector_names,
+                faults=faults if index == 0 else None,
+                obs=self.obs,
+                fsync=fsync,
+            )
+            for index in range(partitions)
+        ]
+
+    # -- the store fan-out ---------------------------------------------
+
+    def store(
+        self,
+        records: list[CTIRecord],
+        parent_span=None,
+        commit_latency: float = 0.0,
+    ) -> ShardStoreOutcome:
+        """Commit a batch: one worker thread per partition, each writing
+        only to its own engine.
+
+        Exactly-once semantics carry over per partition: each engine
+        keeps its own ingest markers, so a replayed batch skips records
+        its partition already owns.  ``commit_latency`` models per-commit
+        I/O time on the injected clock (slept *outside* every lock).  An
+        :class:`InjectedCrash` on any partition is re-raised after all
+        workers finish -- the surviving partitions' commits are already
+        durable, but the batch flush is skipped, exactly like a killed
+        single-engine run.
+        """
+        groups = self.router.group_records(list(records))
+        results: list[ShardStoreOutcome | None] = [None] * len(self.partitions)
+        crashes: list[InjectedCrash | None] = [None] * len(self.partitions)
+        barrier = threading.Barrier(len(self.partitions))
+        threads = [
+            threading.Thread(
+                target=self._store_worker,
+                args=(
+                    partition, groups[partition.index], parent_span, barrier,
+                    commit_latency, results, crashes,
+                ),
+                name=f"shard-worker-{partition.index}",
+                daemon=True,
+            )
+            for partition in self.partitions
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for crash in crashes:
+            if crash is not None:
+                raise crash
+        for partition in self.partitions:
+            partition.engine.flush()
+        merged = ShardStoreOutcome(
+            ingest={name: IngestStats() for name in self.connector_names}
+        )
+        for result in results:
+            if result is None:
+                continue
+            for name, stats in result.ingest.items():
+                merged.ingest[name] += stats
+            merged.stored += result.stored
+            merged.skipped += result.skipped
+        return merged
+
+    def _store_worker(
+        self, partition, records, parent, barrier, commit_latency,
+        results, crashes,
+    ) -> None:
+        index = partition.index
+        totals = {name: IngestStats() for name in partition.connectors}
+        stored = skipped = 0
+        try:
+            with self.clock.worker():
+                # every worker must be registered before any of them
+                # sleeps, or the virtual clock would advance early
+                barrier.wait()
+                with self.obs.tracer.span(
+                    "store.shard", parent=parent, partition=index
+                ) as span:
+                    for record in records:
+                        if partition.engine.is_ingested(record.report_id):
+                            skipped += 1
+                            continue
+                        with partition.engine.transaction() as tx:
+                            for name, connector in partition.connectors.items():
+                                totals[name] += connector.ingest_one(record)
+                            tx.adopt_staged(CrawlParticipant.name, [record.url])
+                            tx.mark_ingested(record.report_id)
+                        stored += 1
+                        if commit_latency > 0.0:
+                            self.clock.sleep(commit_latency)
+                    span.set("stored", stored)
+                    span.set("skipped", skipped)
+        except InjectedCrash as crash:
+            crashes[index] = crash
+        partition.stats.record(stored=stored, skipped=skipped)
+        self.obs.metrics.inc("shard.reports_stored", stored, partition=str(index))
+        self.obs.metrics.inc("shard.reports_skipped", skipped, partition=str(index))
+        results[index] = ShardStoreOutcome(
+            ingest=totals, stored=stored, skipped=skipped
+        )
+
+    # -- scatter-gather reads ------------------------------------------
+
+    def search(self, query: str, limit: int = 10) -> list[SearchHit]:
+        """Keyword search over every partition's index, merged by
+        ``(-score, doc_id)``.
+
+        BM25 statistics (document frequencies, average lengths) are
+        per-partition, so scores are a local approximation of the
+        single-index ranking -- the standard distributed-search
+        trade-off.  The merge order itself is canonical.
+        """
+        hits: list[SearchHit] = []
+        for partition in self.partitions:
+            hits.extend(partition.search_index.search(query, limit=limit))
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits[:limit]
+
+    def fuse(self, fusion: KnowledgeFusion | None = None) -> FusionReport:
+        """Knowledge fusion partition by partition (entities co-locate
+        by anchor hash, so merge candidates are overwhelmingly local);
+        the per-partition reports are summed and group lists sorted for
+        a canonical merged report."""
+        fusion = fusion if fusion is not None else KnowledgeFusion()
+        merged = FusionReport()
+        groups: list[list[str]] = []
+        for partition in self.partitions:
+            report = fusion.run(partition.graph)
+            merged.nodes_before += report.nodes_before
+            merged.nodes_after += report.nodes_after
+            merged.groups_merged += report.groups_merged
+            merged.aliases_resolved += report.aliases_resolved
+            groups.extend(report.merged_groups)
+        merged.merged_groups = sorted(groups)
+        return merged
+
+    def stats(self) -> dict[str, object]:
+        """Aggregate graph statistics plus a per-partition breakdown."""
+        labels: dict[str, int] = {}
+        edge_types: dict[str, int] = {}
+        nodes = edges = 0
+        per_partition: list[dict[str, object]] = []
+        for partition in self.partitions:
+            graph = partition.graph
+            nodes += graph.node_count
+            edges += graph.edge_count
+            for label, count in graph.label_counts().items():
+                labels[label] = labels.get(label, 0) + count
+            for edge_type, count in graph.edge_type_counts().items():
+                edge_types[edge_type] = edge_types.get(edge_type, 0) + count
+            per_partition.append(
+                {
+                    "partition": partition.index,
+                    "nodes": graph.node_count,
+                    "edges": graph.edge_count,
+                    "reports_ingested": partition.engine.ingested_count,
+                }
+            )
+        return {
+            "nodes": nodes,
+            "edges": edges,
+            "labels": dict(sorted(labels.items())),
+            "edge_types": dict(sorted(edge_types.items())),
+            "partitions": per_partition,
+        }
+
+    def sql_stats(self) -> dict[str, object]:
+        """Aggregated SQL-mirror counts (scatter-gather over each
+        partition's :class:`SQLConnector`)."""
+        if "sql" not in self.connector_names:
+            raise RuntimeError("the 'sql' connector is not configured")
+        entities = relations = 0
+        labels: dict[str, int] = {}
+        for partition in self.partitions:
+            connector = partition.connectors["sql"]
+            entities += connector.entity_count()
+            relations += connector.relation_count()
+            for label, count in connector.label_counts().items():
+                labels[label] = labels.get(label, 0) + count
+        return {
+            "entities": entities,
+            "relations": relations,
+            "labels": dict(sorted(labels.items())),
+        }
+
+    def merged_graph(self) -> PropertyGraph:
+        """One union graph for whole-graph consumers (export, hunting,
+        offline stats).  Node ids are preserved verbatim -- the
+        per-partition id ranges are disjoint -- but the result is a
+        detached copy: mutations do not write back to any partition."""
+        merged = PropertyGraph()
+        for partition in self.partitions:
+            graph = partition.graph
+            for node in graph.nodes():
+                merged.restore_node(node.node_id, node.label, node.properties)
+            for edge in graph.edges():
+                merged.create_edge(edge.src, edge.type, edge.dst, edge.properties)
+        return merged
+
+    # -- ingest markers -------------------------------------------------
+
+    def is_ingested(self, report_id: str) -> bool:
+        return any(p.engine.is_ingested(report_id) for p in self.partitions)
+
+    @property
+    def ingested_count(self) -> int:
+        return sum(p.engine.ingested_count for p in self.partitions)
+
+    def ingested_ids(self) -> list[str]:
+        ids: set[str] = set()
+        for partition in self.partitions:
+            ids.update(partition.engine.ingested_ids())
+        return sorted(ids)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        for partition in self.partitions:
+            partition.engine.checkpoint()
+
+    def close(self) -> None:
+        for partition in self.partitions:
+            partition.engine.close()
+
+
+class ShardedCrawlState:
+    """One logical crawl state over N partition-attached states.
+
+    URLs and sources are routed by hash; a URL's partition may differ
+    from its eventual report's record partition (records route by
+    anchor *entity*), in which case the staged seen-delta becomes
+    durable with the batch flush instead of the report's own commit --
+    a crash in between simply re-crawls that report, and the ingest
+    marker on the owning partition keeps the replay exactly-once.
+    """
+
+    def __init__(self, shards: ShardSet):
+        self._shards = shards
+        self._router = shards.router
+
+    def _state_for(self, key: str) -> CrawlState:
+        return self._shards.partitions[self._router.partition_for(key)].state
+
+    def is_seen(self, url: str) -> bool:
+        return self._state_for(url).is_seen(url)
+
+    def mark_seen(self, url: str) -> bool:
+        return self._state_for(url).mark_seen(url)
+
+    def unmark(self, url: str) -> None:
+        self._state_for(url).unmark(url)
+
+    def record_crawl(self, source: str, timestamp: float) -> None:
+        self._state_for(source).record_crawl(source, timestamp)
+
+    def last_crawl(self, source: str) -> float | None:
+        return self._state_for(source).last_crawl(source)
+
+    @property
+    def seen_count(self) -> int:
+        return sum(p.state.seen_count for p in self._shards.partitions)
+
+    def save(self) -> None:
+        for partition in self._shards.partitions:
+            partition.state.save()
+
+
+__all__ = [
+    "ID_STRIDE",
+    "ShardPartition",
+    "ShardSet",
+    "ShardStoreOutcome",
+    "ShardWorkerStats",
+    "ShardedCrawlState",
+]

@@ -1,0 +1,602 @@
+"""The sharding layer: router placement, store fan-out, scatter-gather.
+
+Covers the placement properties the design leans on (stability, balance,
+insertion-order independence -- hypothesis-driven), the per-partition
+store semantics (exactly-once markers, crash isolation, disjoint id
+ranges), scatter-gather Cypher equivalence against a single-partition
+deployment, and the witness/analyzer support for per-partition lock
+families.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import json
+import random
+import sys
+from io import StringIO
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.concurrency import _lock_name_literal
+from repro.core.config import SystemConfig
+from repro.core.system import SecurityKG
+from repro.graphdb.cypher.executor import CypherRuntimeError
+from repro.graphdb.store import PropertyGraph
+from repro.obs import make_obs
+from repro.ontology.entities import EntityType
+from repro.ontology.intermediate import CTIRecord, Mention
+from repro.runtime import clock_from_name
+from repro.runtime.locks import (
+    LockOrderViolation,
+    LockOrderWitness,
+    canonical_lock_name,
+)
+from repro.sharding import (
+    ID_STRIDE,
+    ShardRouter,
+    ShardSet,
+    ShardedCrawlState,
+    ShardedCypherEngine,
+)
+from repro.storage.faults import CrashInjector, InjectedCrash
+
+# -- fixtures ---------------------------------------------------------------
+
+ENTITIES = [
+    ("agent tesla", EntityType.MALWARE),
+    ("zeus panda", EntityType.MALWARE),
+    ("vidar stealer", EntityType.MALWARE),
+    ("Teardrop", EntityType.MALWARE),
+    ("APT29", EntityType.THREAT_ACTOR),
+    ("FIN7", EntityType.THREAT_ACTOR),
+    ("mimikatz", EntityType.TOOL),
+    ("cobalt strike", EntityType.TOOL),
+]
+
+
+def _record(index: int, entity: str | None = None) -> CTIRecord:
+    name, etype = ENTITIES[index % len(ENTITIES)]
+    if entity is not None:
+        name, etype = entity, EntityType.MALWARE
+    return CTIRecord(
+        report_id=f"rpt-{index:04d}",
+        source="UnitSource",
+        url=f"https://unit.test/report/{index}",
+        title=f"report {index} on {name}",
+        mentions=[Mention(name, etype, confidence=0.9)],
+    )
+
+
+def _batch(count: int) -> list[CTIRecord]:
+    return [_record(index) for index in range(count)]
+
+
+# -- router placement properties --------------------------------------------
+
+
+class TestShardRouter:
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_single_partition_owns_everything(self):
+        router = ShardRouter(1)
+        assert {router.partition_for(f"key-{i}") for i in range(50)} == {0}
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=30), min_size=1, max_size=40),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=40)
+    def test_placement_stable_across_instances(self, keys, partitions):
+        first, second = ShardRouter(partitions), ShardRouter(partitions)
+        for key in keys:
+            owner = first.partition_for(key)
+            assert owner == second.partition_for(key)
+            assert 0 <= owner < partitions
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25)
+    def test_balanced_within_tolerance(self, partitions, seed):
+        rng = random.Random(seed)
+        count = 600
+        keys = [
+            f"Malware\x1fsample-{rng.randrange(10**9)}-{index}"
+            for index in range(count)
+        ]
+        router = ShardRouter(partitions)
+        loads = [0] * partitions
+        for key in keys:
+            loads[router.partition_for(key)] += 1
+        expected = count / partitions
+        # blake2b placement is uniform; these bounds are > 5 sigma out
+        assert max(loads) < expected * 2.0
+        assert min(loads) > expected * 0.4
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6),
+                 min_size=1, max_size=60, unique=True),
+        st.integers(min_value=2, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30)
+    def test_placement_independent_of_insertion_order(
+        self, seeds, partitions, rng
+    ):
+        records = [_record(seed, entity=f"sample-{seed}") for seed in seeds]
+        shuffled = list(records)
+        rng.shuffle(shuffled)
+        router = ShardRouter(partitions)
+        by_id_sorted = {
+            r.report_id: router.partition_for_record(r)
+            for r in sorted(records, key=lambda r: r.report_id)
+        }
+        by_id_shuffled = {
+            r.report_id: router.partition_for_record(r) for r in shuffled
+        }
+        assert by_id_sorted == by_id_shuffled
+
+    def test_entity_key_folds_name_case(self):
+        router = ShardRouter(4)
+        assert router.partition_for_entity(
+            "Malware", "Agent Tesla"
+        ) == router.partition_for_entity("Malware", "agent tesla")
+
+    def test_anchor_is_smallest_entity_key(self):
+        router = ShardRouter(4)
+        record = _record(0)
+        record.mentions = [
+            Mention("zeta", EntityType.MALWARE),
+            Mention("alpha", EntityType.MALWARE),
+        ]
+        assert router.anchor_key(record) == router.entity_key(
+            "Malware", "alpha"
+        )
+
+    def test_mentionless_record_routes_by_report_id(self):
+        router = ShardRouter(4)
+        record = _record(3)
+        record.mentions = []
+        assert "rpt-0003" in router.anchor_key(record)
+
+    def test_group_records_partitions_and_preserves_order(self):
+        router = ShardRouter(3)
+        records = _batch(24)
+        groups = router.group_records(records)
+        assert sorted(groups) == [0, 1, 2]
+        seen = []
+        for index, group in groups.items():
+            for record in group:
+                assert router.partition_for_record(record) == index
+            seen.extend(group)
+        assert sorted(r.report_id for r in seen) == [
+            r.report_id for r in records
+        ]
+
+
+# -- the store fan-out ------------------------------------------------------
+
+
+class TestShardSetStore:
+    def test_store_is_exactly_once_per_partition(self):
+        shards = ShardSet(3)
+        records = _batch(16)
+        outcome = shards.store(records)
+        assert outcome.stored == 16
+        assert outcome.skipped == 0
+        assert shards.ingested_count == 16
+        replay = shards.store(records)
+        assert replay.stored == 0
+        assert replay.skipped == 16
+        assert shards.ingested_count == 16
+        assert shards.is_ingested("rpt-0000")
+        assert not shards.is_ingested("rpt-9999")
+        shards.close()
+
+    def test_records_land_on_their_router_partition(self):
+        shards = ShardSet(4)
+        records = _batch(20)
+        shards.store(records)
+        for record in records:
+            owner = shards.router.partition_for_record(record)
+            for partition in shards.partitions:
+                ingested = partition.engine.is_ingested(record.report_id)
+                assert ingested == (partition.index == owner)
+        shards.close()
+
+    def test_partition_id_ranges_are_disjoint(self):
+        shards = ShardSet(3)
+        shards.store(_batch(18))
+        for partition in shards.partitions:
+            low = partition.index * ID_STRIDE
+            for node in partition.graph.nodes():
+                assert low < node.node_id <= low + ID_STRIDE
+        merged = shards.merged_graph()
+        total = sum(p.graph.node_count for p in shards.partitions)
+        assert merged.node_count == total
+        assert merged.edge_count == sum(
+            p.graph.edge_count for p in shards.partitions
+        )
+        shards.close()
+
+    def test_crash_on_one_partition_leaves_others_committed(self, tmp_path):
+        faults = CrashInjector("commit.before-append")
+        shards = ShardSet(3, root=tmp_path, faults=faults)
+        records = _batch(18)
+        groups = shards.router.group_records(records)
+        assert groups[0], "fixture must route records to partition 0"
+        with pytest.raises(InjectedCrash):
+            shards.store(records)
+        # partition 0 lost its first in-flight commit; the others ran
+        assert shards.partitions[0].engine.ingested_count == 0
+        for partition in shards.partitions[1:]:
+            assert partition.engine.ingested_count == len(
+                groups[partition.index]
+            )
+        # reopening and replaying converges with no duplicates
+        recovered = ShardSet(3, root=tmp_path)
+        outcome = recovered.store(records)
+        assert outcome.stored == len(groups[0])
+        assert outcome.skipped == len(records) - len(groups[0])
+        assert recovered.ingested_count == len(records)
+        recovered.close()
+
+    def test_metrics_carry_partition_labels(self):
+        clock = clock_from_name("virtual")
+        obs = make_obs(clock)
+        shards = ShardSet(2, obs=obs, clock=clock)
+        shards.store(_batch(10))
+        snapshot = obs.metrics.snapshot()
+        stored = snapshot["counters"]["shard.reports_stored"]
+        assert set(stored) == {"partition=0", "partition=1"}
+        assert sum(stored.values()) == 10
+        spans = [
+            s for s in obs.tracer.export() if s["name"] == "store.shard"
+        ]
+        assert {s["attrs"]["partition"] for s in spans} == {0, 1}
+        shards.close()
+
+    def test_sharded_crawl_state_routes_and_aggregates(self):
+        shards = ShardSet(3)
+        state = ShardedCrawlState(shards)
+        urls = [f"https://unit.test/page/{i}" for i in range(12)]
+        for url in urls:
+            assert state.mark_seen(url)
+        assert not state.mark_seen(urls[0])
+        assert state.seen_count == 12
+        assert all(state.is_seen(url) for url in urls)
+        state.unmark(urls[0])
+        assert not state.is_seen(urls[0])
+        assert state.seen_count == 11
+        state.record_crawl("UnitSource", 42.0)
+        assert state.last_crawl("UnitSource") == 42.0
+        assert state.last_crawl("Other") is None
+        state.save()
+        shards.close()
+
+
+# -- scatter-gather Cypher --------------------------------------------------
+
+
+def _values(rows):
+    return [row.values for row in rows]
+
+
+class TestShardedCypher:
+    @pytest.fixture()
+    def pair(self):
+        """The same corpus stored on 1 partition and on 3."""
+        single = ShardSet(1)
+        sharded = ShardSet(3)
+        records = _batch(24)
+        single.store(records)
+        sharded.store(records)
+        one = ShardedCypherEngine([p.cypher for p in single.partitions])
+        many = ShardedCypherEngine([p.cypher for p in sharded.partitions])
+        yield one, many
+        single.close()
+        sharded.close()
+
+    def test_ordered_scan_matches_single_partition(self, pair):
+        one, many = pair
+        query = "MATCH (m:Malware) RETURN m.name ORDER BY m.name"
+        assert _values(many.run(query)) == _values(one.run(query))
+
+    def test_order_skip_limit_matches(self, pair):
+        one, many = pair
+        query = (
+            "MATCH (r:AttackReport)-[:MENTIONS]->(m:Malware) "
+            "RETURN r.name, m.name ORDER BY r.name SKIP 2 LIMIT 5"
+        )
+        assert _values(many.run(query)) == _values(one.run(query))
+
+    def test_distinct_merges_across_partitions(self, pair):
+        one, many = pair
+        query = "MATCH (m:Malware) RETURN DISTINCT m.name ORDER BY m.name"
+        assert _values(many.run(query)) == _values(one.run(query))
+
+    def test_global_count_sums_partials(self, pair):
+        one, many = pair
+        query = "MATCH (m:Malware) RETURN count(m) AS n"
+        assert _values(many.run(query)) == _values(one.run(query))
+
+    def test_grouped_count_merges_by_group_key(self, pair):
+        one, many = pair
+        query = (
+            "MATCH (r:AttackReport)-[:MENTIONS]->(m:Malware) "
+            "RETURN m.name, count(r) AS reports ORDER BY m.name"
+        )
+        assert _values(many.run(query)) == _values(one.run(query))
+
+    def test_collect_distinct_dedupes_across_partitions(self, pair):
+        one, many = pair
+        query = (
+            "MATCH (m:Malware) "
+            "RETURN collect(DISTINCT m.name) AS names"
+        )
+        got = _values(many.run(query))[0]["names"]
+        want = _values(one.run(query))[0]["names"]
+        assert sorted(got) == sorted(want)
+
+    def test_count_distinct_raises_when_sharded(self, pair):
+        one, many = pair
+        query = "MATCH (m:Malware) RETURN count(DISTINCT m.name) AS n"
+        one.run(query)  # single partition: fine
+        with pytest.raises(CypherRuntimeError, match="count.DISTINCT"):
+            many.run(query)
+
+    def test_limit_pushdown_returns_enough_rows(self, pair):
+        one, many = pair
+        query = "MATCH (m:Malware) RETURN m.name LIMIT 3"
+        assert len(many.run(query)) == len(one.run(query)) == 3
+
+    def test_create_routes_to_owning_partition(self):
+        shards = ShardSet(3)
+        engine = ShardedCypherEngine([p.cypher for p in shards.partitions])
+        engine.run(
+            "CREATE (:Malware {name: 'routed-sample', merge_key: "
+            "'malware::routed-sample'})",
+            strict=False,
+        )
+        owner = shards.router.partition_for_entity("Malware", "routed-sample")
+        for partition in shards.partitions:
+            count = partition.graph.node_count
+            assert count == (1 if partition.index == owner else 0)
+        rows = engine.run(
+            "MATCH (m:Malware) RETURN m.name", strict=False
+        )
+        assert _values(rows) == [{"m.name": "routed-sample"}]
+        shards.close()
+
+    def test_requires_at_least_one_engine(self):
+        with pytest.raises(ValueError):
+            ShardedCypherEngine([])
+
+
+# -- scatter-gather search / fusion / stats ---------------------------------
+
+
+class TestShardSetReads:
+    def test_search_merges_with_canonical_order(self):
+        shards = ShardSet(3)
+        shards.store(_batch(24))
+        hits = shards.search("report", limit=8)
+        assert len(hits) == 8
+        keys = [(-hit.score, hit.doc_id) for hit in hits]
+        assert keys == sorted(keys)
+        shards.close()
+
+    def test_stats_aggregates_and_breaks_down(self):
+        shards = ShardSet(3)
+        shards.store(_batch(24))
+        stats = shards.stats()
+        assert [p["partition"] for p in stats["partitions"]] == [0, 1, 2]
+        assert stats["nodes"] == sum(
+            p["nodes"] for p in stats["partitions"]
+        )
+        assert sum(p["reports_ingested"] for p in stats["partitions"]) == 24
+        assert sum(stats["labels"].values()) == stats["nodes"]
+        shards.close()
+
+    def test_fusion_scans_every_partition(self):
+        shards = ShardSet(2)
+        records = _batch(8)
+        # alias pairs on both partitions: fusion should fold each pair
+        for index, record in enumerate(records):
+            record.mentions.append(
+                Mention(record.mentions[0].text.upper(), EntityType.MALWARE)
+            )
+        shards.store(records)
+        report = shards.fuse()
+        assert report.nodes_before >= report.nodes_after
+        assert report.merged_groups == sorted(report.merged_groups)
+        shards.close()
+
+
+# -- the SecurityKG facade --------------------------------------------------
+
+
+WORKLOAD = dict(
+    scenario_count=6,
+    reports_per_site=2,
+    sources=["ThreatPedia", "MalwareBulletin"],
+    clock="virtual",
+    seed=7,
+)
+
+
+class TestShardedSecurityKG:
+    def test_run_once_with_partitions(self):
+        kg = SecurityKG(SystemConfig(partitions=3, **WORKLOAD))
+        report = kg.run_once()
+        assert report.reports_stored > 0
+        stats = kg.stats()
+        assert len(stats["partitions"]) == 3
+        assert stats["nodes"] == kg.graph.node_count
+        assert kg.keyword_search("malware", limit=3)
+        rows = kg.cypher("MATCH (m:Malware) RETURN m.name ORDER BY m.name")
+        assert rows
+        kg.run_fusion()
+        kg.close()
+
+    def test_sharded_matches_single_partition_graph(self):
+        single = SecurityKG(SystemConfig(partitions=1, **WORKLOAD))
+        sharded = SecurityKG(SystemConfig(partitions=3, **WORKLOAD))
+        single.run_once()
+        sharded.run_once()
+
+        def canonical(graph):
+            # Entities mentioned by reports anchored on several
+            # partitions legitimately exist as one copy per partition,
+            # so compare the *set* of logical nodes and edges.
+            def ident(node_id):
+                node = graph.node(node_id)
+                return (node.label, node.properties.get("name", ""))
+
+            nodes = {ident(node.node_id) for node in graph.nodes()}
+            edges = {
+                (ident(edge.src), edge.type, ident(edge.dst))
+                for edge in graph.edges()
+            }
+            return nodes, edges
+
+        assert canonical(sharded.graph) == canonical(single.graph)
+        single.close()
+        sharded.close()
+
+    def test_persistent_sharded_state_reopens(self, tmp_path):
+        config = SystemConfig(
+            partitions=2, storage_path=str(tmp_path), **WORKLOAD
+        )
+        kg = SecurityKG(config)
+        first = kg.run_once()
+        kg.checkpoint()
+        kg.close()
+        assert (tmp_path / "partition-0").is_dir()
+        assert (tmp_path / "partition-1").is_dir()
+        reopened = SecurityKG(SystemConfig(
+            partitions=2, storage_path=str(tmp_path), **WORKLOAD
+        ))
+        # everything already crawled and ingested: nothing new
+        second = reopened.run_once()
+        assert second.reports_stored == 0
+        assert reopened.stats()["nodes"] == kg.stats()["nodes"]
+        reopened.close()
+        assert first.reports_stored > 0
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+class TestShardingCLI:
+    def test_run_and_by_partition_drilldown(self, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.jsonl"
+        out = StringIO()
+        code = main(
+            [
+                "run", "--clock", "virtual", "--partitions", "2",
+                "--scenarios", "6", "--reports-per-site", "2",
+                "--trace", str(trace),
+            ],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+        out = StringIO()
+        code = main(
+            ["stats", "--from-trace", str(trace), "--by-partition"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "partition" in text
+        out = StringIO()
+        code = main(
+            [
+                "stats", "--from-trace", str(trace), "--by-partition",
+                "--json",
+            ],
+            out=out,
+        )
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert set(payload) == {"0", "1"}
+        assert all("stored" in entry for entry in payload.values())
+
+
+# -- lock families: analyzer + witness --------------------------------------
+
+
+class TestLockFamilies:
+    def test_canonical_lock_name(self):
+        assert canonical_lock_name("shard.3.stats") == "shard.*.stats"
+        assert canonical_lock_name("shard.12.stats") == "shard.*.stats"
+        assert canonical_lock_name("storage.engine") == "storage.engine"
+        assert canonical_lock_name("obs.metrics") == "obs.metrics"
+
+    def test_analyzer_reads_fstring_lock_names(self):
+        call = pyast.parse(
+            'named_lock(f"shard.{index}.stats")', mode="eval"
+        ).body
+        assert _lock_name_literal(call.args[0]) == "shard.*.stats"
+        call = pyast.parse('named_lock("a.b")', mode="eval").body
+        assert _lock_name_literal(call.args[0]) == "a.b"
+        call = pyast.parse("named_lock(name)", mode="eval").body
+        assert _lock_name_literal(call.args[0]) is None
+
+    def test_witness_allows_ascending_family_nesting(self):
+        witness = LockOrderWitness()
+        witness.enable()
+        witness.record_acquire("shard.0.stats")
+        witness.record_acquire("shard.1.stats")
+        witness.record_release("shard.1.stats")
+        witness.record_release("shard.0.stats")
+        # instances share the canonical family name: no self-edge
+        assert witness.observed_edges() == []
+
+    def test_witness_rejects_descending_family_nesting(self):
+        witness = LockOrderWitness()
+        witness.enable()
+        witness.record_acquire("shard.2.stats")
+        with pytest.raises(LockOrderViolation, match="ascending"):
+            witness.record_acquire("shard.1.stats")
+
+    def test_family_edges_record_canonical_names(self):
+        witness = LockOrderWitness()
+        witness.enable()
+        witness.record_acquire("outer.family")
+        witness.record_acquire("shard.4.stats")
+        witness.record_release("shard.4.stats")
+        witness.record_release("outer.family")
+        assert witness.observed_edges() == [
+            ("outer.family", "shard.*.stats")
+        ]
+
+
+# -- label / property-key interning -----------------------------------------
+
+
+class TestInterning:
+    def test_labels_and_property_keys_are_interned(self):
+        graph = PropertyGraph()
+        label = "Mal" + "ware"  # a fresh, non-interned string
+        key = "na" + "me"
+        node = graph.create_node(label, {key: "sample"})
+        assert node.label is sys.intern("Malware")
+        assert all(k is sys.intern(k) for k in node.properties)
+        other = graph.create_node("Mal" + "ware", {"na" + "me": "second"})
+        assert other.label is node.label
+
+    def test_restored_nodes_intern_too(self):
+        graph = PropertyGraph()
+        graph.restore_node(7, "Thr" + "eatActor", {"na" + "me": "actor"})
+        node = graph.node(7)
+        assert node.label is sys.intern("ThreatActor")
+        assert all(k is sys.intern(k) for k in node.properties)
