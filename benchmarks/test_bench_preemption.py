@@ -1,0 +1,188 @@
+"""E22 -- web preemption: short-query latency under a mixed storm.
+
+The claim behind the preemptable executor: when many analysts share one
+query endpoint, time-slicing long scans keeps short interactive queries
+fast, where run-to-completion scheduling makes them wait behind every
+long query queued ahead of them.
+
+Model (all on the virtual clock, so the run is deterministic and takes
+milliseconds of real time):
+
+- one server, one worker: queries execute one safe-point tick at a
+  time, each tick charging ``STEP_COST`` virtual seconds;
+- a storm of LONG cartesian-product scans and SHORT index lookups all
+  arrives at t=0, interleaved so every short query has long queries
+  queued ahead of it;
+- **eager** scheduling runs each query to completion in arrival order;
+- **preemptable** scheduling round-robins the same tasks with a
+  ``QUANTUM`` virtual-second slice.
+
+Reported: p95 (and mean) short-query latency for both schedulers plus
+the slice/suspension profile, appended to results.json for
+EXPERIMENTS.md.  The acceptance bar is a >= 3x p95 improvement.
+"""
+
+from conftest import record_result
+
+from repro.graphdb import CypherEngine, PropertyGraph
+from repro.graphdb.cypher.iterators import ExecutionContext
+from repro.obs import make_obs
+from repro.runtime.clock import VirtualClock
+
+#: virtual seconds charged per executor safe-point tick
+STEP_COST = 0.0001
+#: preemptable slice budget in virtual seconds (~50 ticks)
+QUANTUM = 0.005
+
+MALWARE_COUNT = 100
+LONG_QUERY = "MATCH (a:Malware), (b:Malware) RETURN count(*) AS pairs"
+SHORT_QUERIES = [
+    f'MATCH (m:Malware {{name: "mal-{i:04d}"}}) RETURN m.name'
+    for i in range(40)
+]
+LONG_COUNT = 5
+
+
+def build_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    for i in range(MALWARE_COUNT):
+        graph.create_node("Malware", {"name": f"mal-{i:04d}"})
+    return graph
+
+
+def storm_queries() -> list[tuple[str, str]]:
+    """(kind, query) arrival order: longs spread through the shorts."""
+    arrivals: list[tuple[str, str]] = []
+    shorts = iter(SHORT_QUERIES)
+    per_gap = len(SHORT_QUERIES) // LONG_COUNT
+    for _ in range(LONG_COUNT):
+        arrivals.append(("long", LONG_QUERY))
+        for _ in range(per_gap):
+            arrivals.append(("short", next(shorts)))
+    arrivals.extend(("short", q) for q in shorts)
+    return arrivals
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    ranked = sorted(values)
+    index = min(len(ranked) - 1, int(round(fraction * (len(ranked) - 1))))
+    return ranked[index]
+
+
+def run_eager(arrivals) -> dict[str, list[float]]:
+    """Run-to-completion in arrival order; latency = completion time."""
+    clock = VirtualClock()
+    engine = CypherEngine(build_graph())
+    latencies: dict[str, list[float]] = {"short": [], "long": []}
+    for kind, query in arrivals:
+        context = ExecutionContext(clock=clock, step_cost=STEP_COST)
+        engine.task(query, context=context, strict=False).run_to_completion()
+        latencies[kind].append(clock.now())
+    return latencies
+
+
+def run_preemptable(arrivals):
+    """Round-robin with a quantum; latency = completion time."""
+    clock = VirtualClock()
+    obs = make_obs(clock)
+    engine = CypherEngine(build_graph(), obs=obs)
+    tasks = [
+        (
+            kind,
+            engine.task(
+                query,
+                context=ExecutionContext(
+                    clock=clock, quantum=QUANTUM, step_cost=STEP_COST
+                ),
+                strict=False,
+            ),
+        )
+        for kind, query in arrivals
+    ]
+    latencies: dict[str, list[float]] = {"short": [], "long": []}
+    pending = list(tasks)
+    while pending:
+        still = []
+        for kind, task in pending:
+            task.step()
+            if task.done:
+                latencies[kind].append(clock.now())
+            else:
+                still.append((kind, task))
+        pending = still
+    counters = obs.metrics.snapshot()["counters"]
+    profile = {
+        "slices": sum(counters.get("cypher.slices", {}).values()),
+        "suspended": sum(counters.get("cypher.suspended", {}).values()),
+    }
+    return latencies, profile
+
+
+def test_bench_preemption_storm():
+    arrivals = storm_queries()
+    eager = run_eager(arrivals)
+    preemptable, profile = run_preemptable(arrivals)
+
+    assert len(eager["short"]) == len(preemptable["short"]) == len(SHORT_QUERIES)
+    assert len(eager["long"]) == len(preemptable["long"]) == LONG_COUNT
+
+    eager_p95 = percentile(eager["short"], 0.95)
+    preempt_p95 = percentile(preemptable["short"], 0.95)
+    speedup = eager_p95 / preempt_p95
+
+    payload = {
+        "workload": {
+            "short_queries": len(SHORT_QUERIES),
+            "long_queries": LONG_COUNT,
+            "malware_nodes": MALWARE_COUNT,
+            "step_cost_s": STEP_COST,
+            "quantum_s": QUANTUM,
+        },
+        "eager": {
+            "short_p95_s": round(eager_p95, 4),
+            "short_mean_s": round(
+                sum(eager["short"]) / len(eager["short"]), 4
+            ),
+            "long_p95_s": round(percentile(eager["long"], 0.95), 4),
+        },
+        "preemptable": {
+            "short_p95_s": round(preempt_p95, 4),
+            "short_mean_s": round(
+                sum(preemptable["short"]) / len(preemptable["short"]), 4
+            ),
+            "long_p95_s": round(percentile(preemptable["long"], 0.95), 4),
+            "profile": profile,
+        },
+        "short_p95_speedup": round(speedup, 1),
+    }
+    record_result("E22", payload)
+    print(
+        f"\nE22 mixed storm: short p95 eager {eager_p95:.3f}s vs "
+        f"preemptable {preempt_p95:.3f}s ({speedup:.1f}x better), "
+        f"{profile['slices']} slices / {profile['suspended']} suspensions"
+    )
+
+    # the whole point of the refactor: >= 3x better short-query p95
+    assert speedup >= 3.0
+    # preemption must not lose work: every query still completes, and
+    # the long queries pay only bounded overhead for the sharing
+    assert profile["suspended"] > 0
+
+
+def test_bench_preemption_results_identical():
+    """The storm changes scheduling only: results match eager exactly."""
+    engine = CypherEngine(build_graph())
+    clock = VirtualClock()
+    for _kind, query in storm_queries()[:12]:
+        eager_rows = engine.run(query, strict=False)
+        task = engine.task(
+            query,
+            context=ExecutionContext(
+                clock=clock, quantum=QUANTUM, step_cost=STEP_COST
+            ),
+            strict=False,
+        )
+        sliced_rows = task.run_to_completion()
+        assert [r.values for r in sliced_rows] == [
+            r.values for r in eager_rows
+        ]

@@ -48,6 +48,26 @@ def main() -> None:
     for row in rows:
         print(f"  connects to {row['x.name']}")
 
+    print("\n== EXPLAIN: the physical plan the optimizer chose ==")
+    plan_rows = kg.cypher(
+        f'EXPLAIN MATCH (m:Malware {{name: "{name}"}})-[:CONNECTS_TO]->(x) '
+        "RETURN x.name"
+    )
+    for row in plan_rows:
+        print(f"  {row['plan']}")
+
+    print("\n== paginated Cypher (preemptable execution) ==")
+    page = kg.cypher_paginated("MATCH (n:Malware) RETURN n.name", page_size=5)
+    total = len(page.rows)
+    while page.continuation is not None:
+        page = kg.cypher_paginated(
+            "MATCH (n:Malware) RETURN n.name",
+            page_size=5,
+            continuation=page.continuation,
+        )
+        total += len(page.rows)
+    print(f"  streamed {total} rows in pages of 5")
+
     print("\n== knowledge fusion (aliases across vendor conventions) ==")
     fusion = kg.run_fusion()
     print(

@@ -24,7 +24,8 @@ Rules
                                          ontology or the graph
 ``cypher/type-mismatch``       error/w   ordering comparison between
                                          incompatible types
-``cypher/aggregate-in-where``  error     count()/collect() inside WHERE
+``cypher/aggregate-in-where``  error     count()/collect()/avg()/min()/
+                                         max()/sum() inside WHERE
 ``cypher/unbounded-path``      warning   variable-length pattern with no
                                          explicit upper bound
 ``cypher/cartesian-product``   warning   MATCH paths sharing no variable
@@ -345,9 +346,12 @@ class CypherAnalyzer:
             if expr.right is not None:
                 self._check_expr(expr.right, declared, out, clause)
             self._check_compare_types(expr, out)
-        elif isinstance(expr, (ast.Count, ast.Collect)):
+        elif isinstance(expr, (ast.Count, ast.Collect, ast.NumAgg)):
             if clause == "WHERE":
-                name = "count" if isinstance(expr, ast.Count) else "collect"
+                if isinstance(expr, ast.NumAgg):
+                    name = expr.func
+                else:
+                    name = "count" if isinstance(expr, ast.Count) else "collect"
                 out.append(
                     Diagnostic(
                         rule="cypher/aggregate-in-where",

@@ -9,6 +9,10 @@ Drives the whole system from a shell::
     python -m repro health --from-trace trace.jsonl [--json]
     python -m repro search  --state ./kgdata "agent tesla"
     python -m repro cypher  --state ./kgdata 'MATCH (m:Malware) RETURN m.name'
+    python -m repro cypher  --state ./kgdata --page-size 25 \
+        'MATCH (m:Malware) RETURN m.name'
+    python -m repro cypher  --state ./kgdata \
+        'EXPLAIN MATCH (m:Malware {name: "agent tesla"}) RETURN m'
     python -m repro stats   --state ./kgdata
     python -m repro fuse    --state ./kgdata
     python -m repro export  --state ./kgdata --out bundle.json
@@ -170,7 +174,48 @@ def cmd_cypher(args: argparse.Namespace, out) -> int:
 
     system = build_system(args)
     strict = not getattr(args, "no_strict", False)
+    page_size = getattr(args, "page_size", None)
+
+    def render(value):
+        if isinstance(value, Node):
+            return f"({value.label} {value.properties.get('name', '')!r})"
+        if isinstance(value, Edge):
+            return f"-[{value.type}]->"
+        return value
+
+    def emit(rows) -> int:
+        count = 0
+        for row in rows:
+            if set(row.values) == {"plan"}:
+                # EXPLAIN output: one indented plan line per row.
+                print(row.values["plan"], file=out)
+            else:
+                print(
+                    "  ".join(f"{k}={render(v)}" for k, v in row.values.items()),
+                    file=out,
+                )
+            count += 1
+        return count
+
     try:
+        if page_size is not None:
+            # Preemptable path: fetch page by page, resuming each page
+            # from the previous continuation, and mark page boundaries.
+            total = 0
+            pages = 0
+            continuation = None
+            while True:
+                page = system.cypher_paginated(
+                    args.query, page_size, continuation=continuation, strict=strict
+                )
+                total += emit(page.rows)
+                pages += 1
+                continuation = page.continuation
+                if continuation is None:
+                    break
+                print(f"-- page {pages} --", file=out)
+            print(f"({total} row(s) in {pages} page(s))", file=out)
+            return 0
         rows = system.cypher(args.query, strict=strict)
     except CypherAnalysisError as error:
         # Positioned diagnostics: rule id plus a caret under the span.
@@ -181,19 +226,7 @@ def cmd_cypher(args: argparse.Namespace, out) -> int:
         print(f"query error: {error}", file=out)
         return 2
 
-    def render(value):
-        if isinstance(value, Node):
-            return f"({value.label} {value.properties.get('name', '')!r})"
-        if isinstance(value, Edge):
-            return f"-[{value.type}]->"
-        return value
-
-    for row in rows:
-        print(
-            "  ".join(f"{k}={render(v)}" for k, v in row.values.items()),
-            file=out,
-        )
-    print(f"({len(rows)} row(s))", file=out)
+    print(f"({emit(rows)} row(s))", file=out)
     return 0
 
 
@@ -447,6 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-strict",
         action="store_true",
         help="skip semantic analysis (exploratory queries)",
+    )
+    p.add_argument(
+        "--page-size",
+        dest="page_size",
+        type=int,
+        default=None,
+        help="run preemptably, fetching this many rows per page and "
+        "resuming from a continuation between pages; prefix the query "
+        "with EXPLAIN to print the physical plan instead",
     )
     p.set_defaults(func=cmd_cypher)
 

@@ -231,7 +231,7 @@ class SecurityKG:
                 [partition.cypher for partition in self.shards.partitions]
             )
         else:
-            self._cypher = CypherEngine(self.database.graph)
+            self._cypher = CypherEngine(self.database.graph, obs=self.obs)
         self._last_skipped = 0
 
     # -- wiring ----------------------------------------------------------
@@ -481,6 +481,25 @@ class SecurityKG:
         ``strict=False`` skips the analysis for exploratory queries.
         """
         return self._cypher.run(query, strict=strict)
+
+    def cypher_paginated(
+        self,
+        query: str,
+        page_size: int,
+        continuation: dict | None = None,
+        strict: bool | None = None,
+    ):
+        """One page of a Cypher result plus a resume continuation.
+
+        Executes preemptably -- the underlying scans stop once the page
+        is full and the returned
+        :class:`~repro.graphdb.cypher.executor.CypherPage` carries a
+        JSON-safe continuation resuming exactly after the last row.
+        Works against both single-graph and sharded deployments.
+        """
+        return self._cypher.run_paginated(
+            query, page_size, continuation=continuation, strict=strict
+        )
 
     def keyword_search(self, query: str, limit: int = 10) -> list[SearchHit]:
         """Keyword search over collected reports (the Elasticsearch path)."""

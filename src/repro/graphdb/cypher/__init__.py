@@ -1,20 +1,35 @@
-"""Cypher-subset query engine (lexer, parser, executor)."""
+"""Cypher-subset query engine (lexer, parser, planner, executor).
+
+Two execution strategies behind one engine: the eager tree-walking
+evaluator (`run`) and the preemptable physical-operator path
+(`run_paginated` / `task`) built from `planner` + `iterators`.
+"""
 
 from repro.graphdb.cypher.executor import (
     CypherAnalysisError,
     CypherEngine,
+    CypherPage,
     CypherRuntimeError,
+    QueryTask,
     ResultRow,
 )
+from repro.graphdb.cypher.iterators import ExecutionContext, QuantumExhausted
 from repro.graphdb.cypher.lexer import CypherSyntaxError, tokenize
 from repro.graphdb.cypher.parser import parse
+from repro.graphdb.cypher.planner import PhysicalPlan, build_plan
 
 __all__ = [
     "CypherAnalysisError",
     "CypherEngine",
+    "CypherPage",
     "CypherRuntimeError",
     "CypherSyntaxError",
+    "ExecutionContext",
+    "PhysicalPlan",
+    "QuantumExhausted",
+    "QueryTask",
     "ResultRow",
-    "parse",
+    "build_plan",
     "tokenize",
+    "parse",
 ]

@@ -81,6 +81,20 @@ class Collect(Expr):
 
 
 @dataclass(frozen=True)
+class NumAgg(Expr):
+    """Numeric aggregate: avg/min/max/sum over an expression.
+
+    ``sum`` of an empty group is 0; ``avg``/``min``/``max`` of an
+    empty group are null.  ``distinct`` dedupes values before
+    aggregating, matching count/collect semantics.
+    """
+
+    func: str  # 'avg', 'min', 'max', 'sum'
+    operand: Expr
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
 class ListLiteral(Expr):
     items: tuple[Expr, ...]
 
@@ -142,6 +156,8 @@ class MatchQuery:
     order_by: list[tuple[Expr, bool]] = field(default_factory=list)  # (expr, asc)
     skip: int | None = None
     limit: int | None = None
+    #: EXPLAIN-prefixed query: plan and describe instead of executing
+    explain: bool = False
 
 
 @dataclass
@@ -163,6 +179,7 @@ __all__ = [
     "MatchQuery",
     "NodePattern",
     "Not",
+    "NumAgg",
     "Or",
     "PathPattern",
     "Property",

@@ -1,24 +1,39 @@
 """Cypher query execution.
 
-Pattern matching runs as a backtracking join: within each path the
-executor seeds the search at the most selective node pattern
+Two execution strategies share one semantics:
+
+**Eager** (the default, and the N=1/no-quantum fast path): pattern
+matching runs as a backtracking join: within each path the executor
+seeds the search at the most selective node pattern
 (property-indexed lookup beats label scan beats full scan), expands
 along relationship patterns using adjacency lists, and threads
 variable bindings across paths.  WHERE filters bindings, RETURN
-projects them, ``count(...)`` aggregates with grouping over the
-non-aggregated items, then DISTINCT / ORDER BY / SKIP / LIMIT apply in
-the standard order.
+projects them, aggregates group over the non-aggregated items, then
+DISTINCT / ORDER BY / SKIP / LIMIT apply in the standard order.
+
+**Preemptable** (:meth:`CypherEngine.run_paginated` /
+:meth:`CypherEngine.task`): the query is lowered by
+:mod:`repro.graphdb.cypher.planner` into a tree of resumable
+iterators (:mod:`repro.graphdb.cypher.iterators`) that suspend after a
+time quantum on the injected clock and resume from a JSON-safe
+continuation -- the SaGe web-preemption model, which is what lets the
+UI server page results and serve many concurrent queries with bounded
+per-slice latency.
+
+The expression evaluator lives in module-level functions shared by
+both strategies, so a sliced run is value-identical to an eager one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.graphdb.cypher import ast
 from repro.graphdb.cypher.lexer import CypherSyntaxError
 from repro.graphdb.cypher.parser import parse
 from repro.graphdb.store import Edge, Node, PropertyGraph
+from repro.obs import NO_OBS, Obs
 
 
 class CypherRuntimeError(ValueError):
@@ -57,14 +72,32 @@ class ResultRow:
         return self.values.keys()
 
 
+@dataclass
+class CypherPage:
+    """One page of a paginated query: rows plus a resume continuation.
+
+    ``continuation`` is a JSON-safe dict (``None`` when the query is
+    exhausted); callers that need an opaque wire token encode it
+    themselves (the UI server base64s it with a query fingerprint).
+    """
+
+    rows: list[ResultRow]
+    continuation: dict | None = None
+
+
 class CypherEngine:
     """Execute parsed Cypher against a property graph."""
 
-    def __init__(self, graph: PropertyGraph, strict: bool = True):
+    def __init__(
+        self, graph: PropertyGraph, strict: bool = True, obs: Obs = NO_OBS
+    ):
         self.graph = graph
         #: default-on semantic analysis: queries with ERROR-severity
         #: findings raise :class:`CypherAnalysisError` before execution
         self.strict = strict
+        #: observability bundle (``cypher.plan`` / ``cypher.slice``
+        #: spans, slice counters); the no-op default is free
+        self.obs = obs
         self._schema_cache: tuple[tuple[int, int], object] | None = None
 
     # -- public API -----------------------------------------------------
@@ -75,6 +108,8 @@ class CypherEngine:
         Returns result rows (empty for CREATE).  ``strict=None`` uses
         the engine default; pass ``strict=False`` for exploratory
         queries that intentionally probe labels the graph lacks.
+        ``EXPLAIN``-prefixed queries return the physical plan as one
+        ``plan`` row per operator instead of executing.
         """
         parsed = parse(query)
         if self.strict if strict is None else strict:
@@ -84,7 +119,79 @@ class CypherEngine:
             # CREATE changes the schema; drop the cached analyzer view.
             self._schema_cache = None
             return []
+        if parsed.explain:
+            return self.explain_rows(parsed)
         return self._execute_match(parsed)
+
+    def plan(self, parsed: ast.MatchQuery):
+        """Lower an analyzed MATCH query into a physical plan."""
+        # Imported lazily: the planner imports iterators, which import
+        # this module's shared evaluator.
+        from repro.graphdb.cypher.planner import build_plan
+
+        with self.obs.tracer.span("cypher.plan"):
+            return build_plan(parsed, self.graph)
+
+    def explain_rows(self, parsed: ast.MatchQuery) -> list[ResultRow]:
+        """The physical plan as result rows (one ``plan`` line each)."""
+        plan = self.plan(parsed)
+        return [ResultRow({"plan": line}) for line in plan.explain_lines()]
+
+    def run_paginated(
+        self,
+        query: str,
+        page_size: int,
+        continuation: dict | None = None,
+        strict: bool | None = None,
+    ) -> CypherPage:
+        """Execute preemptably, returning at most ``page_size`` rows.
+
+        The returned continuation resumes exactly after the last row of
+        this page; feeding every page's continuation back in yields the
+        same rows, in the same order, as one eager run of the plan.
+        """
+        if page_size < 1:
+            raise CypherRuntimeError("page_size must be >= 1")
+        parsed = parse(query)
+        if self.strict if strict is None else strict:
+            self._check(parsed, query)
+        if isinstance(parsed, ast.CreateQuery):
+            self._execute_create(parsed)
+            self._schema_cache = None
+            return CypherPage(rows=[])
+        if parsed.explain:
+            return CypherPage(rows=self.explain_rows(parsed))
+        from repro.graphdb.cypher.iterators import ExecutionContext
+
+        task = QueryTask(self, parsed, ExecutionContext())
+        if continuation is not None:
+            task.load(continuation)
+        rows = task.fetch(page_size)
+        return CypherPage(rows=rows, continuation=task.save())
+
+    def task(
+        self,
+        query: str,
+        context=None,
+        strict: bool | None = None,
+    ) -> "QueryTask":
+        """A suspendable query execution for a slice-at-a-time driver.
+
+        ``context`` is an
+        :class:`~repro.graphdb.cypher.iterators.ExecutionContext`
+        carrying the quantum/clock; each :meth:`QueryTask.step` runs
+        one slice and the task suspends when the quantum expires.
+        """
+        from repro.graphdb.cypher.iterators import ExecutionContext
+
+        parsed = parse(query)
+        if self.strict if strict is None else strict:
+            self._check(parsed, query)
+        if not isinstance(parsed, ast.MatchQuery) or parsed.explain:
+            raise CypherRuntimeError(
+                "only MATCH queries can run as preemptable tasks"
+            )
+        return QueryTask(self, parsed, context or ExecutionContext())
 
     def execute(self, parsed: ast.Query) -> list[ResultRow]:
         """Execute an already-parsed (and already-analyzed) query.
@@ -334,29 +441,12 @@ class CypherEngine:
     def _bind_node(
         self, pattern: ast.NodePattern, node: Node, bindings: Bindings
     ) -> bool:
-        if pattern.label and node.label != pattern.label:
-            return False
-        for key, value in pattern.properties:
-            if node.properties.get(key) != value:
-                return False
-        if pattern.variable:
-            existing = bindings.get(pattern.variable)
-            if existing is not None:
-                return isinstance(existing, Node) and existing.node_id == node.node_id
-            bindings[pattern.variable] = node
-        return True
+        return bind_node(pattern, node, bindings)
 
     def _bind_rel(
         self, pattern: ast.RelPattern, edge: Edge, bindings: Bindings
     ) -> bool:
-        if pattern.rel_type and edge.type != pattern.rel_type:
-            return False
-        if pattern.variable:
-            existing = bindings.get(pattern.variable)
-            if existing is not None:
-                return isinstance(existing, Edge) and existing.edge_id == edge.edge_id
-            bindings[pattern.variable] = edge
-        return True
+        return bind_rel(pattern, edge, bindings)
 
     # -- projection / aggregation -------------------------------------------------
 
@@ -403,129 +493,225 @@ class CypherEngine:
         return rows
 
     def _eval_aggregate(self, expr: ast.Expr, members: list[Bindings]) -> object:
-        if isinstance(expr, ast.Collect):
-            values = []
-            seen: list[object] = []
-            for bindings in members:
-                value = self._eval(expr.operand, bindings)
-                if value is None:
-                    continue
-                if expr.distinct:
-                    key = _hashable(value)
-                    if key in seen:
-                        continue
-                    seen.append(key)
-                values.append(value)
-            return values
-        if isinstance(expr, ast.Count):
-            if expr.operand is None:
-                return len(members)
-            seen = []
-            count = 0
-            for bindings in members:
-                value = self._eval(expr.operand, bindings)
-                if value is None:
-                    continue
-                if expr.distinct:
-                    key = _hashable(value)
-                    if key in seen:
-                        continue
-                    seen.append(key)
-                count += 1
-            return count
+        if isinstance(expr, ast.Count) and expr.operand is None:
+            return len(members)
+        if isinstance(expr, (ast.Count, ast.Collect, ast.NumAgg)):
+            values = [self._eval(expr.operand, b) for b in members]
+            if isinstance(expr, ast.Collect):
+                return reduce_collect(values, expr.distinct)
+            if isinstance(expr, ast.Count):
+                return reduce_count(values, expr.distinct)
+            return reduce_numeric(expr.func, values, expr.distinct)
         raise CypherRuntimeError(f"unsupported aggregate expression: {expr}")
 
     # -- expression evaluation ------------------------------------------------------
 
     def _eval(self, expr: ast.Expr, bindings: Bindings) -> object:
-        if isinstance(expr, ast.Literal):
-            return expr.value
-        if isinstance(expr, ast.ListLiteral):
-            return [self._eval(item, bindings) for item in expr.items]
-        if isinstance(expr, ast.Variable):
-            if expr.name not in bindings:
-                raise CypherRuntimeError(f"unbound variable {expr.name!r}")
-            return bindings[expr.name]
-        if isinstance(expr, ast.Property):
-            value = bindings.get(expr.variable)
-            if value is None:
-                raise CypherRuntimeError(f"unbound variable {expr.variable!r}")
-            if isinstance(value, (Node, Edge)):
-                return value.properties.get(expr.key)
-            raise CypherRuntimeError(
-                f"{expr.variable!r} is not a node or relationship"
-            )
-        if isinstance(expr, ast.And):
-            return _truthy(self._eval(expr.left, bindings)) and _truthy(
-                self._eval(expr.right, bindings)
-            )
-        if isinstance(expr, ast.Or):
-            return _truthy(self._eval(expr.left, bindings)) or _truthy(
-                self._eval(expr.right, bindings)
-            )
-        if isinstance(expr, ast.Not):
-            return not _truthy(self._eval(expr.operand, bindings))
-        if isinstance(expr, ast.Compare):
-            return self._eval_compare(expr, bindings)
-        if isinstance(expr, (ast.Count, ast.Collect)):
-            raise CypherRuntimeError("aggregates are only allowed in RETURN")
-        raise CypherRuntimeError(f"cannot evaluate {expr!r}")
+        return eval_expr(expr, bindings)
 
     def _eval_compare(self, expr: ast.Compare, bindings: Bindings) -> bool:
-        left = self._eval(expr.left, bindings)
-        if expr.op == "IS NULL":
-            return left is None
-        if expr.op == "IS NOT NULL":
-            return left is not None
-        right = self._eval(expr.right, bindings)
-        if expr.op == "=":
-            return left == right
-        if expr.op == "<>":
-            return left != right
-        if expr.op == "IN":
-            return left in (right or [])
-        if left is None or right is None:
-            return False
-        if expr.op == "CONTAINS":
-            return str(right) in str(left)
-        if expr.op == "STARTS WITH":
-            return str(left).startswith(str(right))
-        if expr.op == "ENDS WITH":
-            return str(left).endswith(str(right))
-        try:
-            if expr.op == "<":
-                return left < right
-            if expr.op == ">":
-                return left > right
-            if expr.op == "<=":
-                return left <= right
-            if expr.op == ">=":
-                return left >= right
-        except TypeError as error:
-            raise CypherRuntimeError(str(error)) from None
-        raise CypherRuntimeError(f"unknown operator {expr.op!r}")
+        return eval_compare(expr, bindings)
 
     def _eval_projected(self, expr: ast.Expr, row: ResultRow) -> object:
-        """Evaluate an ORDER BY expression against a projected row.
+        return eval_projected(expr, row)
 
-        ORDER BY may reference return aliases or projected variables.
-        """
-        if isinstance(expr, ast.Variable) and expr.name in row.values:
-            return row.values[expr.name]
-        if isinstance(expr, ast.Property):
-            base = row.values.get(expr.variable)
-            if isinstance(base, (Node, Edge)):
-                return base.properties.get(expr.key)
-            alias = f"{expr.variable}.{expr.key}"
-            if alias in row.values:
-                return row.values[alias]
-        if isinstance(expr, ast.Count):
-            return row.values.get("count")
-        if isinstance(expr, ast.Literal):
-            return expr.value
+
+class QueryTask:
+    """A preemptable query execution: planned once, run slice by slice.
+
+    Each :meth:`step` runs one time slice under the context's quantum
+    and returns the rows produced before suspension.  :meth:`save` /
+    :meth:`load` round-trip the whole execution state as a JSON-safe
+    continuation, so a task can be resumed in a later request (the
+    pagination path) or interleaved with other tasks (the E22 storm).
+    """
+
+    def __init__(self, engine: CypherEngine, parsed: ast.MatchQuery, context):
+        self.engine = engine
+        self.query = parsed
+        self.context = context
+        self.plan = engine.plan(parsed)
+        self.root = self.plan.build(engine.graph, context)
+        self.done = False
+
+    def step(self, max_rows: int | None = None) -> list[ResultRow]:
+        """Run one slice; returns rows produced before the quantum expired."""
+        from repro.graphdb.cypher.iterators import QuantumExhausted
+
+        obs = self.engine.obs
+        rows: list[ResultRow] = []
+        with obs.tracer.span("cypher.slice"):
+            obs.metrics.inc("cypher.slices")
+            self.context.begin_slice()
+            try:
+                while not self.done and (
+                    max_rows is None or len(rows) < max_rows
+                ):
+                    row = self.root.next()
+                    if row is None:
+                        self.done = True
+                        break
+                    rows.append(ResultRow(row))
+            except QuantumExhausted:
+                obs.metrics.inc("cypher.suspended")
+        return rows
+
+    def fetch(self, count: int) -> list[ResultRow]:
+        """Rows until ``count`` are gathered or the query is exhausted."""
+        rows: list[ResultRow] = []
+        while len(rows) < count and not self.done:
+            rows.extend(self.step(max_rows=count - len(rows)))
+        return rows
+
+    def run_to_completion(self) -> list[ResultRow]:
+        rows: list[ResultRow] = []
+        while not self.done:
+            rows.extend(self.step())
+        return rows
+
+    def save(self) -> dict | None:
+        """JSON-safe continuation, or ``None`` once exhausted."""
+        if self.done:
+            return None
+        return {
+            "v": 1,
+            "plan": self.plan.signature(),
+            "state": self.root.save(),
+        }
+
+    def load(self, continuation: dict) -> None:
+        if continuation.get("plan") != self.plan.signature():
+            raise CypherRuntimeError(
+                "continuation does not match this query's plan"
+            )
+        self.root.load(continuation["state"])
+
+
+# -- shared evaluator ---------------------------------------------------------
+#
+# Module-level so the eager engine, the resumable iterator operators
+# and the scatter-gather merge evaluate expressions identically.
+
+
+def eval_expr(expr: ast.Expr, bindings: Bindings) -> object:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ListLiteral):
+        return [eval_expr(item, bindings) for item in expr.items]
+    if isinstance(expr, ast.Variable):
+        if expr.name not in bindings:
+            raise CypherRuntimeError(f"unbound variable {expr.name!r}")
+        return bindings[expr.name]
+    if isinstance(expr, ast.Property):
+        value = bindings.get(expr.variable)
+        if value is None:
+            raise CypherRuntimeError(f"unbound variable {expr.variable!r}")
+        if isinstance(value, (Node, Edge)):
+            return value.properties.get(expr.key)
         raise CypherRuntimeError(
-            "ORDER BY expressions must reference returned values"
+            f"{expr.variable!r} is not a node or relationship"
         )
+    if isinstance(expr, ast.And):
+        return _truthy(eval_expr(expr.left, bindings)) and _truthy(
+            eval_expr(expr.right, bindings)
+        )
+    if isinstance(expr, ast.Or):
+        return _truthy(eval_expr(expr.left, bindings)) or _truthy(
+            eval_expr(expr.right, bindings)
+        )
+    if isinstance(expr, ast.Not):
+        return not _truthy(eval_expr(expr.operand, bindings))
+    if isinstance(expr, ast.Compare):
+        return eval_compare(expr, bindings)
+    if isinstance(expr, (ast.Count, ast.Collect, ast.NumAgg)):
+        raise CypherRuntimeError("aggregates are only allowed in RETURN")
+    raise CypherRuntimeError(f"cannot evaluate {expr!r}")
+
+
+def eval_compare(expr: ast.Compare, bindings: Bindings) -> bool:
+    left = eval_expr(expr.left, bindings)
+    if expr.op == "IS NULL":
+        return left is None
+    if expr.op == "IS NOT NULL":
+        return left is not None
+    right = eval_expr(expr.right, bindings)
+    if expr.op == "=":
+        return left == right
+    if expr.op == "<>":
+        return left != right
+    if expr.op == "IN":
+        return left in (right or [])
+    if left is None or right is None:
+        return False
+    if expr.op == "CONTAINS":
+        return str(right) in str(left)
+    if expr.op == "STARTS WITH":
+        return str(left).startswith(str(right))
+    if expr.op == "ENDS WITH":
+        return str(left).endswith(str(right))
+    try:
+        if expr.op == "<":
+            return left < right
+        if expr.op == ">":
+            return left > right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">=":
+            return left >= right
+    except TypeError as error:
+        raise CypherRuntimeError(str(error)) from None
+    raise CypherRuntimeError(f"unknown operator {expr.op!r}")
+
+
+def eval_projected(expr: ast.Expr, row: ResultRow) -> object:
+    """Evaluate an ORDER BY expression against a projected row.
+
+    ORDER BY may reference return aliases or projected variables.
+    """
+    if isinstance(expr, ast.Variable) and expr.name in row.values:
+        return row.values[expr.name]
+    if isinstance(expr, ast.Property):
+        base = row.values.get(expr.variable)
+        if isinstance(base, (Node, Edge)):
+            return base.properties.get(expr.key)
+        alias = f"{expr.variable}.{expr.key}"
+        if alias in row.values:
+            return row.values[alias]
+    if isinstance(expr, ast.Count):
+        return row.values.get("count")
+    if isinstance(expr, ast.NumAgg):
+        return row.values.get(expr.func)
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    raise CypherRuntimeError(
+        "ORDER BY expressions must reference returned values"
+    )
+
+
+def bind_node(pattern: ast.NodePattern, node: Node, bindings: Bindings) -> bool:
+    """Check a node against a pattern, binding its variable on success."""
+    if pattern.label and node.label != pattern.label:
+        return False
+    for key, value in pattern.properties:
+        if node.properties.get(key) != value:
+            return False
+    if pattern.variable:
+        existing = bindings.get(pattern.variable)
+        if existing is not None:
+            return isinstance(existing, Node) and existing.node_id == node.node_id
+        bindings[pattern.variable] = node
+    return True
+
+
+def bind_rel(pattern: ast.RelPattern, edge: Edge, bindings: Bindings) -> bool:
+    if pattern.rel_type and edge.type != pattern.rel_type:
+        return False
+    if pattern.variable:
+        existing = bindings.get(pattern.variable)
+        if existing is not None:
+            return isinstance(existing, Edge) and existing.edge_id == edge.edge_id
+        bindings[pattern.variable] = edge
+    return True
 
 
 # -- helpers ------------------------------------------------------------------
@@ -535,9 +721,54 @@ def _truthy(value: object) -> bool:
     return bool(value)
 
 
+def reduce_collect(values: list[object], distinct: bool) -> list[object]:
+    """collect() over already-evaluated values: None-skipping, optional
+    dedup.  Shared by the eager path, the iterator operators and the
+    scatter-gather merge so all three agree on aggregate semantics."""
+    out: list[object] = []
+    seen: list[object] = []
+    for value in values:
+        if value is None:
+            continue
+        if distinct:
+            key = _hashable(value)
+            if key in seen:
+                continue
+            seen.append(key)
+        out.append(value)
+    return out
+
+
+def reduce_count(values: list[object], distinct: bool) -> int:
+    return len(reduce_collect(values, distinct))
+
+
+def reduce_numeric(func: str, values: list[object], distinct: bool) -> object:
+    """avg/min/max/sum over already-evaluated values.
+
+    ``sum([])`` is 0; the others are null on empty input.  Non-numeric
+    operands surface as :class:`CypherRuntimeError`.
+    """
+    vals = reduce_collect(values, distinct)
+    try:
+        if func == "sum":
+            return sum(vals)
+        if not vals:
+            return None
+        if func == "min":
+            return min(vals)
+        if func == "max":
+            return max(vals)
+        if func == "avg":
+            return sum(vals) / len(vals)
+    except TypeError as error:
+        raise CypherRuntimeError(str(error)) from None
+    raise CypherRuntimeError(f"unknown aggregate function {func!r}")
+
+
 def _contains_count(expr: ast.Expr) -> bool:
-    """Whether an expression contains an aggregate (count or collect)."""
-    if isinstance(expr, (ast.Count, ast.Collect)):
+    """Whether an expression contains an aggregate."""
+    if isinstance(expr, (ast.Count, ast.Collect, ast.NumAgg)):
         return True
     if isinstance(expr, (ast.And, ast.Or)):
         return _contains_count(expr.left) or _contains_count(expr.right)
@@ -584,7 +815,17 @@ def _sort_key(value: object):
 __all__ = [
     "CypherAnalysisError",
     "CypherEngine",
+    "CypherPage",
     "CypherRuntimeError",
     "CypherSyntaxError",
+    "QueryTask",
     "ResultRow",
+    "bind_node",
+    "bind_rel",
+    "eval_compare",
+    "eval_expr",
+    "eval_projected",
+    "reduce_collect",
+    "reduce_count",
+    "reduce_numeric",
 ]

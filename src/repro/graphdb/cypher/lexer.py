@@ -53,6 +53,11 @@ KEYWORDS = frozenset(
         "FALSE",
         "COUNT",
         "COLLECT",
+        "AVG",
+        "MIN",
+        "MAX",
+        "SUM",
+        "EXPLAIN",
         "IS",
     }
 )

@@ -69,9 +69,13 @@ class _Parser:
     # -- entry ------------------------------------------------------------
 
     def parse(self) -> ast.Query:
+        explain = self.accept(TokenType.KEYWORD, "EXPLAIN") is not None
         if self.check(TokenType.KEYWORD, "MATCH"):
             query = self.match_query()
+            query.explain = explain
         elif self.check(TokenType.KEYWORD, "CREATE"):
+            if explain:
+                raise CypherSyntaxError("EXPLAIN applies to MATCH queries only")
             query = self.create_query()
         else:
             raise CypherSyntaxError("query must start with MATCH or CREATE")
@@ -393,6 +397,18 @@ class _Parser:
             operand = self.expression()
             self.expect(TokenType.SYMBOL, ")")
             return ast.Collect(operand, distinct=distinct)
+        if (
+            token.type is TokenType.KEYWORD
+            and token.value in ("AVG", "MIN", "MAX", "SUM")
+            and self.peek(1).type is TokenType.SYMBOL
+            and self.peek(1).value == "("
+        ):
+            self.advance()
+            self.expect(TokenType.SYMBOL, "(")
+            distinct = self.accept(TokenType.KEYWORD, "DISTINCT") is not None
+            operand = self.expression()
+            self.expect(TokenType.SYMBOL, ")")
+            return ast.NumAgg(token.value.lower(), operand, distinct=distinct)
         if token.type is TokenType.SYMBOL and token.value == "[":
             self.advance()
             items: list[ast.Expr] = []
@@ -433,6 +449,8 @@ def _default_alias(expr: ast.Expr) -> str:
         return "count"
     if isinstance(expr, ast.Collect):
         return "collect"
+    if isinstance(expr, ast.NumAgg):
+        return expr.func
     return "expr"
 
 

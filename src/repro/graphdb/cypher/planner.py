@@ -1,0 +1,546 @@
+"""Cost-based lowering of MATCH queries into physical operator plans.
+
+The planner turns an analyzed :class:`~repro.graphdb.cypher.ast.MatchQuery`
+into a tree of the resumable operators in
+:mod:`repro.graphdb.cypher.iterators`:
+
+* **Access-path selection** -- each path pattern is anchored at its
+  cheapest node pattern under store-backed cardinality estimates:
+  a (label, key, value) index bucket beats a label scan beats a full
+  scan, and a variable already bound by an earlier path is free.
+* **Join reordering** -- path patterns execute connected-first and
+  cheapest-first rather than in query order (results are re-ordered by
+  ORDER BY or treated as multisets, matching Cypher's unordered
+  semantics).
+* **Filter pushdown** -- WHERE splits into conjuncts, each evaluated at
+  the earliest operator where all its variables are bound.
+* **Limit pushdown** -- the lazy pull pipeline stops producing once
+  LIMIT is satisfied, so upstream scans never run to completion.
+
+``EXPLAIN <query>`` surfaces :meth:`PhysicalPlan.explain_lines`; the
+plan :meth:`~PhysicalPlan.signature` (structure only, estimates
+excluded) is embedded in pagination continuations so a token minted
+against one plan shape is rejected instead of silently resuming a
+different one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.graphdb.cypher import ast
+from repro.graphdb.cypher.executor import CypherRuntimeError, _contains_count
+from repro.graphdb.cypher.iterators import (
+    AggregateOp,
+    DistinctOp,
+    ExecutionContext,
+    ExpandOp,
+    ExpandVarOp,
+    FilterOp,
+    LimitOp,
+    OrderByOp,
+    PreemptableIterator,
+    ProjectOp,
+    ScanOp,
+    SingletonOp,
+    SkipOp,
+)
+from repro.graphdb.store import INDEXED_PROPERTIES, PropertyGraph
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Compact source-like rendering for EXPLAIN output."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.ListLiteral):
+        return "[" + ", ".join(render_expr(item) for item in expr.items) + "]"
+    if isinstance(expr, ast.Variable):
+        return expr.name
+    if isinstance(expr, ast.Property):
+        return f"{expr.variable}.{expr.key}"
+    if isinstance(expr, ast.Compare):
+        if expr.right is None:
+            return f"{render_expr(expr.left)} {expr.op}"
+        return f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+    if isinstance(expr, ast.And):
+        return f"({render_expr(expr.left)} AND {render_expr(expr.right)})"
+    if isinstance(expr, ast.Or):
+        return f"({render_expr(expr.left)} OR {render_expr(expr.right)})"
+    if isinstance(expr, ast.Not):
+        return f"NOT ({render_expr(expr.operand)})"
+    if isinstance(expr, ast.Count):
+        inner = "*" if expr.operand is None else render_expr(expr.operand)
+        return f"count({'DISTINCT ' if expr.distinct else ''}{inner})"
+    if isinstance(expr, ast.Collect):
+        return (
+            f"collect({'DISTINCT ' if expr.distinct else ''}"
+            f"{render_expr(expr.operand)})"
+        )
+    if isinstance(expr, ast.NumAgg):
+        return (
+            f"{expr.func}({'DISTINCT ' if expr.distinct else ''}"
+            f"{render_expr(expr.operand)})"
+        )
+    return repr(expr)
+
+
+def _render_node(pattern: ast.NodePattern) -> str:
+    var = pattern.variable or ""
+    label = f":{pattern.label}" if pattern.label else ""
+    props = ""
+    if pattern.properties:
+        inner = ", ".join(f"{k}: {v!r}" for k, v in pattern.properties)
+        props = " {" + inner + "}"
+    return f"({var}{label}{props})"
+
+
+def _render_rel(rel: ast.RelPattern, forward: bool) -> str:
+    rtype = f":{rel.rel_type}" if rel.rel_type else ""
+    hops = ""
+    if rel.is_variable_length:
+        hops = f"*{rel.min_hops}..{rel.max_hops}"
+    body = f"-[{rel.variable or ''}{rtype}{hops}]-"
+    direction = rel.direction
+    if not forward:
+        direction = {"out": "in", "in": "out"}.get(direction, "any")
+    if direction == "out":
+        return body + ">"
+    if direction == "in":
+        return "<" + body
+    return body
+
+
+# -- free variables ----------------------------------------------------------
+
+
+def free_vars(expr: ast.Expr) -> set[str]:
+    if isinstance(expr, ast.Variable):
+        return {expr.name}
+    if isinstance(expr, ast.Property):
+        return {expr.variable}
+    if isinstance(expr, ast.ListLiteral):
+        out: set[str] = set()
+        for item in expr.items:
+            out |= free_vars(item)
+        return out
+    if isinstance(expr, (ast.And, ast.Or)):
+        return free_vars(expr.left) | free_vars(expr.right)
+    if isinstance(expr, ast.Not):
+        return free_vars(expr.operand)
+    if isinstance(expr, ast.Compare):
+        out = free_vars(expr.left)
+        if expr.right is not None:
+            out |= free_vars(expr.right)
+        return out
+    if isinstance(expr, (ast.Count, ast.Collect, ast.NumAgg)):
+        operand = expr.operand
+        return free_vars(operand) if operand is not None else set()
+    return set()
+
+
+def _conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.And):
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+# -- plan nodes --------------------------------------------------------------
+
+
+@dataclass
+class PlanNode:
+    """One physical operator: display info plus build parameters."""
+
+    kind: str
+    detail: str
+    params: dict
+    child: "PlanNode | None" = None
+    estimate: float | None = None
+
+    def line(self, with_estimate: bool = True) -> str:
+        text = f"{self.kind} {self.detail}".rstrip()
+        if with_estimate and self.estimate is not None:
+            text += f"  (est {self.estimate:g} rows)"
+        return text
+
+
+@dataclass
+class PhysicalPlan:
+    """A built plan: explainable, hashable, instantiable."""
+
+    root: PlanNode
+    query: ast.MatchQuery = field(repr=False, default=None)
+
+    def _nodes(self) -> list[PlanNode]:
+        out: list[PlanNode] = []
+        node: PlanNode | None = self.root
+        while node is not None:
+            out.append(node)
+            node = node.child
+        return out
+
+    def explain_lines(self) -> list[str]:
+        lines: list[str] = []
+        for depth, node in enumerate(self._nodes()):
+            lines.append("  " * depth + node.line())
+        return lines
+
+    def signature(self) -> str:
+        """Structure-only fingerprint (estimates excluded): embedded in
+        continuations so a token only resumes the plan it was minted
+        against."""
+        payload = "\n".join(
+            node.line(with_estimate=False) for node in self._nodes()
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def build(
+        self, graph: PropertyGraph, context: ExecutionContext
+    ) -> PreemptableIterator:
+        return self._build(self.root, graph, context)
+
+    def _build(
+        self, node: PlanNode, graph: PropertyGraph, context: ExecutionContext
+    ) -> PreemptableIterator:
+        child = (
+            self._build(node.child, graph, context)
+            if node.child is not None
+            else None
+        )
+        p = node.params
+        if node.kind == "Init":
+            return SingletonOp()
+        if node.kind in ("IndexScan", "LabelScan", "AllNodesScan"):
+            return ScanOp(
+                graph, context, child, p["pattern"], p["variable"], p["source"]
+            )
+        if node.kind == "ExpandEdge":
+            return ExpandOp(
+                graph, context, child, p["source_var"], p["rel"],
+                p["target"], p["target_var"], p["forward"],
+            )
+        if node.kind == "ExpandVar":
+            return ExpandVarOp(
+                graph, context, child, p["source_var"], p["rel"],
+                p["target"], p["target_var"], p["forward"],
+            )
+        if node.kind == "Filter":
+            return FilterOp(child, p["exprs"])
+        if node.kind == "Project":
+            return ProjectOp(child, p["returns"], p["order_exprs"])
+        if node.kind == "Aggregate":
+            return AggregateOp(
+                graph, child, p["group_items"], p["agg_items"],
+                p["order_exprs"],
+            )
+        if node.kind == "OrderBy":
+            return OrderByOp(graph, child, p["ascending"])
+        if node.kind == "Distinct":
+            return DistinctOp(child)
+        if node.kind == "Skip":
+            return SkipOp(child, p["count"])
+        if node.kind == "Limit":
+            return LimitOp(child, p["count"])
+        raise CypherRuntimeError(f"unknown plan operator {node.kind!r}")
+
+
+# -- planning ----------------------------------------------------------------
+
+
+def _pattern_vars(path: ast.PathPattern) -> set[str]:
+    out: set[str] = set()
+    for node in path.nodes:
+        if node.variable:
+            out.add(node.variable)
+    for rel in path.rels:
+        if rel.variable:
+            out.add(rel.variable)
+    return out
+
+
+def _where_equalities(
+    conjuncts: list[tuple[set[str], ast.Expr]],
+) -> dict[str, list[tuple[str, object]]]:
+    """var -> [(key, literal)] for sargable WHERE conjuncts.
+
+    A top-level ``n.key = literal`` (either orientation) can be served
+    by the same property index as an inline ``{key: literal}`` pattern;
+    the conjunct still runs as a Filter, so the index is purely an
+    access-path choice.
+    """
+    out: dict[str, list[tuple[str, object]]] = {}
+    for _needs, conjunct in conjuncts:
+        if not isinstance(conjunct, ast.Compare) or conjunct.op != "=":
+            continue
+        for prop, lit in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if (
+                isinstance(prop, ast.Property)
+                and isinstance(lit, ast.Literal)
+                and isinstance(lit.value, (str, int, float, bool))
+            ):
+                out.setdefault(prop.variable, []).append((prop.key, lit.value))
+    return out
+
+
+def _anchor_cost(
+    graph: PropertyGraph,
+    pattern: ast.NodePattern,
+    bound: set[str],
+    extra_props: list[tuple[str, object]] = (),
+) -> tuple[float, tuple]:
+    """(estimated candidate rows, scan source) for one node pattern."""
+    if pattern.variable and pattern.variable in bound:
+        return 0.0, ("bound",)
+    props = list(pattern.properties) + list(extra_props)
+    if pattern.label and props:
+        indexed = [
+            (key, value)
+            for key, value in props
+            if key in INDEXED_PROPERTIES
+            and isinstance(value, (str, int, float, bool))
+        ]
+        if indexed:
+            key, value = min(
+                indexed,
+                key=lambda kv: graph.index_size(pattern.label, kv[0], kv[1]),
+            )
+            size = graph.index_size(pattern.label, key, value)
+            return float(size), ("index", pattern.label, key, value)
+        # unindexed property filter still narrows the label scan
+        return (
+            max(graph.label_count(pattern.label) * 0.5, 0.0),
+            ("label", pattern.label),
+        )
+    if pattern.label:
+        return float(graph.label_count(pattern.label)), ("label", pattern.label)
+    if props:
+        return max(graph.node_count * 0.5, 0.0), ("all",)
+    return float(graph.node_count), ("all",)
+
+
+def build_plan(query: ast.MatchQuery, graph: PropertyGraph) -> PhysicalPlan:
+    """Lower a MATCH query into a physical plan against ``graph``."""
+    # Hidden variables for anonymous pattern nodes, so expansion can
+    # continue from them; '#'-prefixed names can never collide with
+    # parsed variables and are stripped before projection.
+    names: dict[tuple[int, int], str] = {}
+    for p_index, path in enumerate(query.paths):
+        for n_index, pattern in enumerate(path.nodes):
+            names[(p_index, n_index)] = (
+                pattern.variable or f"#p{p_index}n{n_index}"
+            )
+
+    conjuncts = [(free_vars(c), c) for c in _conjuncts(query.where)]
+    equalities = _where_equalities(conjuncts)
+    placed = [False] * len(conjuncts)
+    bound: set[str] = set()
+    chain: list[PlanNode] = [PlanNode("Init", "", {})]
+
+    def flush_filters() -> None:
+        ready = [
+            c
+            for index, (needs, c) in enumerate(conjuncts)
+            if not placed[index] and needs <= bound
+        ]
+        if not ready:
+            return
+        for index, (needs, _c) in enumerate(conjuncts):
+            if not placed[index] and needs <= bound:
+                placed[index] = True
+        detail = " AND ".join(render_expr(c) for c in ready)
+        chain.append(PlanNode("Filter", detail, {"exprs": ready}))
+
+    # join reordering: connected-first, then cheapest anchor
+    remaining = list(range(len(query.paths)))
+    order: list[int] = []
+    planned_vars: set[str] = set()
+    while remaining:
+        connected = [
+            i for i in remaining
+            if planned_vars and _pattern_vars(query.paths[i]) & planned_vars
+        ]
+        candidates = connected or remaining
+        best = min(
+            candidates,
+            key=lambda i: (
+                min(
+                    _anchor_cost(
+                        graph,
+                        pattern,
+                        planned_vars,
+                        equalities.get(pattern.variable or "", ()),
+                    )[0]
+                    for pattern in query.paths[i].nodes
+                ),
+                i,
+            ),
+        )
+        order.append(best)
+        remaining.remove(best)
+        planned_vars |= _pattern_vars(query.paths[best])
+
+    for p_index in order:
+        path = query.paths[p_index]
+        costs = [
+            _anchor_cost(
+                graph,
+                pattern,
+                bound,
+                equalities.get(pattern.variable or "", ()),
+            )
+            for pattern in path.nodes
+        ]
+        anchor = min(range(len(path.nodes)), key=lambda i: (costs[i][0], i))
+        cost, source = costs[anchor]
+        pattern = path.nodes[anchor]
+        variable = names[(p_index, anchor)]
+        kind = {
+            "index": "IndexScan",
+            "label": "LabelScan",
+        }.get(source[0], "AllNodesScan")
+        if source[0] == "bound":
+            kind, source = "LabelScan" if pattern.label else "AllNodesScan", (
+                ("label", pattern.label) if pattern.label else ("all",)
+            )
+        chain.append(
+            PlanNode(
+                kind,
+                _render_node(pattern),
+                {"pattern": pattern, "variable": variable, "source": source},
+                estimate=cost if cost else None,
+            )
+        )
+        bound.add(variable)
+        if pattern.variable:
+            bound.add(pattern.variable)
+        flush_filters()
+
+        def expand_step(src: int, dst: int, rel: ast.RelPattern) -> None:
+            forward = dst > src
+            target = path.nodes[dst]
+            target_var = names[(p_index, dst)]
+            op_kind = "ExpandVar" if rel.is_variable_length else "ExpandEdge"
+            src_name = names[(p_index, src)]
+            detail = (
+                f"({src_name if not src_name.startswith('#') else ''})"
+                f"{_render_rel(rel, forward)}{_render_node(target)}"
+            )
+            chain.append(
+                PlanNode(
+                    op_kind,
+                    detail,
+                    {
+                        "source_var": src_name,
+                        "rel": rel,
+                        "target": target,
+                        "target_var": target_var,
+                        "forward": forward,
+                    },
+                )
+            )
+            bound.add(target_var)
+            if target.variable:
+                bound.add(target.variable)
+            if rel.variable and not rel.is_variable_length:
+                bound.add(rel.variable)
+            flush_filters()
+
+        for index in range(anchor, len(path.nodes) - 1):
+            expand_step(index, index + 1, path.rels[index])
+        for index in range(anchor, 0, -1):
+            expand_step(index, index - 1, path.rels[index - 1])
+
+    # any conjunct left references unbound variables; evaluating it at
+    # the top surfaces the same "unbound variable" error as eager mode
+    residual = [c for index, (_needs, c) in enumerate(conjuncts)
+                if not placed[index]]
+    if residual:
+        detail = " AND ".join(render_expr(c) for c in residual)
+        chain.append(PlanNode("Filter", detail, {"exprs": residual}))
+
+    order_exprs = [expr for expr, _asc in query.order_by]
+    has_aggregate = any(
+        _contains_count(item.expr) for item in query.returns
+    )
+    if has_aggregate:
+        group_items = [
+            i for i in query.returns if not _contains_count(i.expr)
+        ]
+        agg_items = [i for i in query.returns if _contains_count(i.expr)]
+        for item in agg_items:
+            if not isinstance(
+                item.expr, (ast.Count, ast.Collect, ast.NumAgg)
+            ):
+                raise CypherRuntimeError(
+                    f"unsupported aggregate expression: {item.expr}"
+                )
+        detail = ", ".join(
+            f"{render_expr(i.expr)} AS {i.alias}" for i in query.returns
+        )
+        chain.append(
+            PlanNode(
+                "Aggregate",
+                detail,
+                {
+                    "group_items": group_items,
+                    "agg_items": agg_items,
+                    "order_exprs": order_exprs,
+                },
+            )
+        )
+    else:
+        detail = ", ".join(
+            f"{render_expr(i.expr)} AS {i.alias}" for i in query.returns
+        )
+        chain.append(
+            PlanNode(
+                "Project",
+                detail,
+                {"returns": list(query.returns), "order_exprs": order_exprs},
+            )
+        )
+
+    if query.order_by:
+        detail = ", ".join(
+            f"{render_expr(expr)} {'ASC' if asc else 'DESC'}"
+            for expr, asc in query.order_by
+        )
+        chain.append(
+            PlanNode(
+                "OrderBy",
+                detail,
+                {"ascending": [asc for _e, asc in query.order_by]},
+            )
+        )
+    if query.distinct:
+        chain.append(PlanNode("Distinct", "", {}))
+    if query.skip:
+        chain.append(PlanNode("Skip", str(query.skip), {"count": query.skip}))
+    if query.limit is not None:
+        chain.append(
+            PlanNode("Limit", str(query.limit), {"count": query.limit})
+        )
+
+    # chain is source-first; link into a root-first tree
+    root = chain[-1]
+    for index in range(len(chain) - 1, 0, -1):
+        chain[index].child = chain[index - 1]
+    return PhysicalPlan(root=root, query=query)
+
+
+__all__ = [
+    "PhysicalPlan",
+    "PlanNode",
+    "build_plan",
+    "free_vars",
+    "render_expr",
+]

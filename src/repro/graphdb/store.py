@@ -243,6 +243,35 @@ class PropertyGraph:
             if node is not None:
                 yield node
 
+    def node_ids(self, label: str | None = None) -> list[int]:
+        """Sorted node ids, optionally restricted to one label.
+
+        A stable, ascending id list is what the resumable query
+        iterators scan over: a continuation records the last id
+        consumed, and resuming filters ``> last`` -- robust even when
+        nodes were inserted between two slices of a paginated query.
+        """
+        if label is None:
+            return sorted(self._nodes)
+        return sorted(self._label_index.get(label, ()))
+
+    def index_lookup_ids(self, label: str, key: str, value: object) -> list[int]:
+        """Sorted node ids in the (label, key, value) property index.
+
+        Empty when the key is not indexed (see
+        :data:`INDEXED_PROPERTIES`) or no node matches; callers decide
+        between this and a label scan via :meth:`index_size`.
+        """
+        return sorted(self._property_index.get((label, key, value), ()))
+
+    def index_size(self, label: str, key: str, value: object) -> int:
+        """Cardinality of one (label, key, value) index bucket."""
+        return len(self._property_index.get((label, key, value), ()))
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label`` (0 for unknown labels)."""
+        return len(self._label_index.get(label, ()))
+
     def edges(self, edge_type: str | None = None) -> Iterator[Edge]:
         for edge in list(self._edges.values()):
             if edge_type is None or edge.type == edge_type:

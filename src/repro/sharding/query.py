@@ -11,11 +11,17 @@ three phases:
 2. **Scatter**: the parsed query runs on every partition with the
    gather-owned clauses stripped (ORDER BY / DISTINCT / SKIP; LIMIT is
    pushed down only when no reordering can change which rows survive).
-   Aggregates run as per-partition partials.
+   Aggregates are rewritten into mergeable per-partition partials:
+   counts and sums stay as-is (they sum), ``avg`` becomes a
+   (sum, count) partial pair, ``min``/``max`` merge directly, and
+   DISTINCT aggregates -- ``count(DISTINCT ...)``, ``avg(DISTINCT
+   ...)`` etc. -- ship their ``collect(DISTINCT ...)`` value sets so
+   the gather side can dedupe across partitions before reducing.
 3. **Gather** with canonical ordering: partition results concatenate in
-   partition order, aggregate partials merge by group key, then ORDER
-   BY / DISTINCT / SKIP / LIMIT apply once, globally.  Seeded
-   virtual-clock runs therefore produce byte-identical results.
+   partition order, aggregate partials merge by group key and are
+   finalized back to the requested aliases, then ORDER BY / DISTINCT /
+   SKIP / LIMIT apply once, globally.  Seeded virtual-clock runs
+   therefore produce byte-identical results.
 
 Cross-partition entity identity: the same logical entity (one
 ``merge_key``) may exist on several partitions when relations pulled it
@@ -23,9 +29,11 @@ into records anchored elsewhere.  Gather-side grouping and DISTINCT
 treat nodes with equal ``(label, merge_key)`` as the same value, so
 entity-keyed results match the single-partition answer.
 
-Known limitation: ``count(DISTINCT ...)`` cannot be merged from
-per-partition partials (partitions may have seen overlapping values)
-and raises a clear :class:`CypherRuntimeError` when N > 1.
+Pagination (:meth:`ShardedCypherEngine.run_paginated`) serves
+streaming queries (no aggregate / ORDER BY / DISTINCT) partition by
+partition with each partition's scan suspended via its preemptable
+:class:`~repro.graphdb.cypher.executor.QueryTask` continuation;
+blocking queries fall back to a gather-then-offset continuation.
 """
 
 from __future__ import annotations
@@ -36,10 +44,13 @@ from repro.graphdb.cypher import ast
 from repro.graphdb.cypher.executor import (
     CypherAnalysisError,
     CypherEngine,
+    CypherPage,
     CypherRuntimeError,
+    QueryTask,
     ResultRow,
     _contains_count,
     _sort_key,
+    reduce_numeric,
 )
 from repro.graphdb.cypher.parser import parse
 from repro.graphdb.store import Edge, Node
@@ -79,18 +90,59 @@ def _dedupe(values: list[object]) -> list[object]:
     return out
 
 
-def _has_count_distinct(expr: ast.Expr) -> bool:
-    if isinstance(expr, ast.Count):
-        return expr.distinct
-    if isinstance(expr, (ast.And, ast.Or)):
-        return _has_count_distinct(expr.left) or _has_count_distinct(expr.right)
-    if isinstance(expr, ast.Not):
-        return _has_count_distinct(expr.operand)
-    if isinstance(expr, ast.Compare):
-        return _has_count_distinct(expr.left) or (
-            expr.right is not None and _has_count_distinct(expr.right)
-        )
-    return False
+def _localize_returns(
+    returns: list[ast.ReturnItem],
+) -> tuple[list[ast.ReturnItem], list[tuple[str, ast.ReturnItem, list[tuple[str, str]]]]]:
+    """Rewrite RETURN items into mergeable per-partition partials.
+
+    Returns ``(local_items, specs)``: the items each partition
+    evaluates, and per original item a ``(kind, item, partials)`` spec
+    where ``partials`` lists ``(local_alias, merge_op)`` pairs driving
+    the gather-side merge.  Partial-only aliases are ``#``-prefixed so
+    they can never collide with parsed aliases.
+    """
+    local_items: list[ast.ReturnItem] = []
+    specs: list[tuple[str, ast.ReturnItem, list[tuple[str, str]]]] = []
+    for item in returns:
+        expr = item.expr
+        if not _contains_count(expr):
+            local_items.append(item)
+            specs.append(("group", item, []))
+        elif isinstance(expr, ast.Count) and expr.distinct and expr.operand is not None:
+            # partitions may have seen overlapping values: ship the
+            # distinct value sets and dedupe across partitions
+            local_items.append(
+                ast.ReturnItem(ast.Collect(expr.operand, distinct=True), item.alias)
+            )
+            specs.append(("count_distinct", item, [(item.alias, "concat")]))
+        elif isinstance(expr, ast.Count):
+            local_items.append(item)
+            specs.append(("passthrough", item, [(item.alias, "sum")]))
+        elif isinstance(expr, ast.Collect):
+            local_items.append(item)
+            specs.append(("collect", item, [(item.alias, "concat")]))
+        elif isinstance(expr, ast.NumAgg) and expr.distinct:
+            local_items.append(
+                ast.ReturnItem(ast.Collect(expr.operand, distinct=True), item.alias)
+            )
+            specs.append(("numagg_distinct", item, [(item.alias, "concat")]))
+        elif isinstance(expr, ast.NumAgg) and expr.func == "avg":
+            sum_alias = f"#{item.alias}#sum"
+            n_alias = f"#{item.alias}#n"
+            local_items.append(
+                ast.ReturnItem(ast.NumAgg("sum", expr.operand), sum_alias)
+            )
+            local_items.append(ast.ReturnItem(ast.Count(expr.operand), n_alias))
+            specs.append(("avg", item, [(sum_alias, "sum"), (n_alias, "sum")]))
+        elif isinstance(expr, ast.NumAgg) and expr.func in ("min", "max"):
+            local_items.append(item)
+            specs.append(("passthrough", item, [(item.alias, expr.func)]))
+        elif isinstance(expr, ast.NumAgg) and expr.func == "sum":
+            local_items.append(item)
+            specs.append(("passthrough", item, [(item.alias, "sum")]))
+        else:
+            raise CypherRuntimeError(f"unsupported aggregate expression: {expr}")
+    return local_items, specs
 
 
 class ShardedCypherEngine:
@@ -143,11 +195,131 @@ class ShardedCypherEngine:
         parsed = parse(query)
         if self.strict if strict is None else strict:
             self._check(parsed, query)
+        if isinstance(parsed, ast.CreateQuery):
+            if len(self._engines) == 1:
+                return self._engines[0].execute(parsed)
+            return self._engines[self._create_target(parsed)].execute(parsed)
+        if parsed.explain:
+            # plan shapes agree across partitions (estimates may not);
+            # partition 0's plan stands for the scatter
+            return self._engines[0].explain_rows(parsed)
         if len(self._engines) == 1:
             return self._engines[0].execute(parsed)
-        if isinstance(parsed, ast.CreateQuery):
-            return self._engines[self._create_target(parsed)].execute(parsed)
         return self._scatter_match(parsed)
+
+    def run_paginated(
+        self,
+        query: str,
+        page_size: int,
+        continuation: dict | None = None,
+        strict: bool | None = None,
+    ) -> CypherPage:
+        """Preemptable, paged execution across every partition.
+
+        Streaming queries (no aggregate, ORDER BY or DISTINCT) are
+        served partition by partition: the active partition's scan is a
+        :class:`QueryTask` whose save/load continuation rides inside
+        this engine's continuation, so no partition scans past the
+        requested page.  Blocking queries gather once per page and
+        resume by offset.
+        """
+        if page_size < 1:
+            raise CypherRuntimeError("page_size must be >= 1")
+        parsed = parse(query)
+        if self.strict if strict is None else strict:
+            self._check(parsed, query)
+        if isinstance(parsed, ast.CreateQuery):
+            if len(self._engines) == 1:
+                self._engines[0].execute(parsed)
+            else:
+                self._engines[self._create_target(parsed)].execute(parsed)
+            return CypherPage(rows=[])
+        if parsed.explain:
+            return CypherPage(rows=self._engines[0].explain_rows(parsed))
+        if len(self._engines) == 1:
+            return self._engines[0].run_paginated(
+                query, page_size, continuation=continuation, strict=False
+            )
+        has_aggregate = any(
+            _contains_count(item.expr) for item in parsed.returns
+        )
+        if has_aggregate or parsed.order_by or parsed.distinct:
+            return self._paginate_blocking(parsed, page_size, continuation)
+        return self._paginate_streaming(parsed, page_size, continuation)
+
+    def _paginate_blocking(
+        self, parsed: ast.MatchQuery, page_size: int, continuation: dict | None
+    ) -> CypherPage:
+        state = continuation or {"mode": "offset", "offset": 0}
+        if state.get("mode") != "offset":
+            raise CypherRuntimeError(
+                "continuation does not match this query's execution mode"
+            )
+        offset = int(state["offset"])
+        rows = self._scatter_match(parsed)
+        page = rows[offset : offset + page_size]
+        end = offset + len(page)
+        return CypherPage(
+            rows=page,
+            continuation=(
+                {"mode": "offset", "offset": end} if end < len(rows) else None
+            ),
+        )
+
+    def _paginate_streaming(
+        self, parsed: ast.MatchQuery, page_size: int, continuation: dict | None
+    ) -> CypherPage:
+        from repro.graphdb.cypher.iterators import ExecutionContext
+
+        state = continuation or {
+            "mode": "scan", "part": 0, "cont": None, "skipped": 0, "emitted": 0,
+        }
+        if state.get("mode") != "scan":
+            raise CypherRuntimeError(
+                "continuation does not match this query's execution mode"
+            )
+        # SKIP/LIMIT are global: strip them from the per-partition scan
+        # and account across partitions via continuation counters.
+        local = replace(parsed, skip=None, limit=None, explain=False)
+        part = int(state["part"])
+        cont = state["cont"]
+        skipped = int(state["skipped"])
+        emitted = int(state["emitted"])
+        to_skip = max((parsed.skip or 0) - skipped, 0)
+        rows: list[ResultRow] = []
+        while part < len(self._engines) and len(rows) < page_size:
+            if parsed.limit is not None and emitted >= parsed.limit:
+                break
+            want = page_size - len(rows)
+            if parsed.limit is not None:
+                want = min(want, parsed.limit - emitted)
+            task = QueryTask(self._engines[part], local, ExecutionContext())
+            if cont is not None:
+                task.load(cont)
+            fetched = task.fetch(want + to_skip)
+            if to_skip:
+                dropped = min(to_skip, len(fetched))
+                fetched = fetched[dropped:]
+                to_skip -= dropped
+                skipped += dropped
+            rows.extend(fetched)
+            emitted += len(fetched)
+            cont = task.save()
+            if cont is None:
+                part += 1
+        done = part >= len(self._engines) or (
+            parsed.limit is not None and emitted >= parsed.limit
+        )
+        return CypherPage(
+            rows=rows,
+            continuation=None if done else {
+                "mode": "scan",
+                "part": part,
+                "cont": cont,
+                "skipped": skipped,
+                "emitted": emitted,
+            },
+        )
 
     def _create_target(self, parsed: ast.CreateQuery) -> int:
         """Route a CREATE to the partition owning its first node's
@@ -162,14 +334,6 @@ class ShardedCypherEngine:
 
     def _scatter_match(self, query: ast.MatchQuery) -> list[ResultRow]:
         has_aggregate = any(_contains_count(item.expr) for item in query.returns)
-        if has_aggregate:
-            for item in query.returns:
-                if _has_count_distinct(item.expr):
-                    raise CypherRuntimeError(
-                        "count(DISTINCT ...) cannot be merged across "
-                        "partitions; collect(DISTINCT ...) and plain "
-                        "count(...) are supported"
-                    )
         local_limit = None
         if (
             not has_aggregate
@@ -180,14 +344,23 @@ class ShardedCypherEngine:
             # no reordering/dedup downstream: each partition can stop
             # after the rows that could possibly survive skip+limit
             local_limit = (query.skip or 0) + query.limit
-        local = replace(
-            query, distinct=False, order_by=[], skip=None, limit=local_limit
-        )
-        per_partition = [engine.execute(local) for engine in self._engines]
-
         if has_aggregate:
-            rows = self._merge_aggregates(query, per_partition)
+            local_returns, specs = _localize_returns(query.returns)
+            local = replace(
+                query,
+                returns=local_returns,
+                distinct=False,
+                order_by=[],
+                skip=None,
+                limit=None,
+            )
+            per_partition = [engine.execute(local) for engine in self._engines]
+            rows = self._merge_aggregates(specs, per_partition)
         else:
+            local = replace(
+                query, distinct=False, order_by=[], skip=None, limit=local_limit
+            )
+            per_partition = [engine.execute(local) for engine in self._engines]
             rows = [row for partial in per_partition for row in partial]
 
         for expr, ascending in reversed(query.order_by):
@@ -211,23 +384,26 @@ class ShardedCypherEngine:
 
     def _merge_aggregates(
         self,
-        query: ast.MatchQuery,
+        specs: list[tuple[str, ast.ReturnItem, list[tuple[str, str]]]],
         per_partition: list[list[ResultRow]],
     ) -> list[ResultRow]:
         """Merge per-partition aggregate partials by group key.
 
-        Counts sum (a row contributes to exactly one partition's
-        partial), collects concatenate in partition order (DISTINCT
-        collects dedupe across partitions), and group values keep the
-        first partition's representative.
+        Counts and sums add (a source row contributes to exactly one
+        partition's partial), min/max fold, collects concatenate in
+        partition order, and group values keep the first partition's
+        representative.  DISTINCT aggregates arrive as per-partition
+        distinct value lists; finalization dedupes them across
+        partitions by gather key before reducing.
         """
         group_aliases = [
-            item.alias for item in query.returns if not _contains_count(item.expr)
+            item.alias for kind, item, _p in specs if kind == "group"
         ]
-        agg_items = [
-            item for item in query.returns if _contains_count(item.expr)
+        mergers = [
+            (alias, op) for _kind, _item, partials in specs
+            for alias, op in partials
         ]
-        merged: dict[tuple, ResultRow] = {}
+        merged: dict[tuple, dict] = {}
         for partial in per_partition:
             for row in partial:
                 key = tuple(
@@ -235,24 +411,57 @@ class ShardedCypherEngine:
                 )
                 base = merged.get(key)
                 if base is None:
-                    merged[key] = ResultRow(dict(row.values))
+                    merged[key] = dict(row.values)
                     continue
-                for item in agg_items:
-                    alias = item.alias
-                    if isinstance(item.expr, ast.Count):
-                        base.values[alias] = (base.values[alias] or 0) + (
+                for alias, op in mergers:
+                    if op == "sum":
+                        base[alias] = (base[alias] or 0) + (
                             row.values[alias] or 0
                         )
-                    elif isinstance(item.expr, ast.Collect):
-                        base.values[alias] = list(base.values[alias]) + list(
+                    elif op == "concat":
+                        base[alias] = list(base[alias]) + list(
                             row.values[alias]
                         )
-        rows = list(merged.values())
-        for item in agg_items:
-            if isinstance(item.expr, ast.Collect) and item.expr.distinct:
-                for row in rows:
-                    row.values[item.alias] = _dedupe(row.values[item.alias])
-        return rows
+                    else:  # min / max, None-skipping
+                        folded = [
+                            v
+                            for v in (base[alias], row.values[alias])
+                            if v is not None
+                        ]
+                        base[alias] = (
+                            (min(folded) if op == "min" else max(folded))
+                            if folded
+                            else None
+                        )
+        return [self._finalize(values, specs) for values in merged.values()]
+
+    @staticmethod
+    def _finalize(
+        values: dict,
+        specs: list[tuple[str, ast.ReturnItem, list[tuple[str, str]]]],
+    ) -> ResultRow:
+        """Merged partials back to the requested aliases, in order."""
+        out: dict[str, object] = {}
+        for kind, item, partials in specs:
+            alias = item.alias
+            if kind in ("group", "passthrough"):
+                out[alias] = values[alias]
+            elif kind == "count_distinct":
+                out[alias] = len(_dedupe(values[alias]))
+            elif kind == "collect":
+                merged = values[alias]
+                out[alias] = (
+                    _dedupe(merged) if item.expr.distinct else merged
+                )
+            elif kind == "numagg_distinct":
+                out[alias] = reduce_numeric(
+                    item.expr.func, _dedupe(values[alias]), False
+                )
+            else:  # avg: sum partial / count partial
+                total = values[partials[0][0]]
+                count = values[partials[1][0]]
+                out[alias] = (total / count) if count else None
+        return ResultRow(out)
 
     @staticmethod
     def _distinct(rows: list[ResultRow]) -> list[ResultRow]:

@@ -113,7 +113,7 @@ class ShardPartition:
             connector = self._build_connector(name)
             connector.obs = obs
             self.connectors[name] = connector
-        self.cypher = CypherEngine(self.database.graph)
+        self.cypher = CypherEngine(self.database.graph, obs=obs)
         self.stats = ShardWorkerStats(index)
 
     def _build_connector(self, name: str) -> Connector:

@@ -10,8 +10,12 @@ endpoints correspond one-to-one to the interactions the demo shows:
 ``GET  /trace``           ring-buffer span trace (also ``/api/trace``)
 ``GET  /health``          health-engine report (also ``/api/health``)
 ``POST /api/search``      body ``{"query": ...}``; keyword search + focus
-``POST /api/cypher``      body ``{"query", "strict"?}``; Cypher search
-                          (analysis errors return 400 + diagnostics)
+``POST /api/cypher``      body ``{"query", "strict"?, "page_size"?,
+                          "cursor"?}``; Cypher search (analysis
+                          errors return 400 + diagnostics); with
+                          ``page_size`` the query runs preemptably
+                          and the response carries an opaque
+                          ``cursor`` for the next page
 ``POST /api/expand``      body ``{"id": ...}``; double-click expansion
 ``POST /api/collapse``    body ``{"id": ...}``; double-click collapse
 ``POST /api/drag``        body ``{"id", "x", "y"}``; drag with lock
@@ -22,6 +26,8 @@ endpoints correspond one-to-one to the interactions the demo shows:
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,6 +37,41 @@ from repro.graphdb.cypher import CypherAnalysisError
 from repro.graphdb.store import Edge, Node
 from repro.runtime import named_lock
 from repro.ui.explorer import GraphExplorer
+
+
+def _query_fingerprint(query: str) -> str:
+    return hashlib.sha1(query.encode("utf-8")).hexdigest()[:12]
+
+
+def encode_cursor(query: str, continuation: dict | None) -> str | None:
+    """Continuation dict -> opaque wire token.
+
+    The token is base64url JSON binding the continuation to a
+    fingerprint of the query text, so a cursor replayed with a
+    different query is rejected instead of resuming the wrong scan.
+    """
+    if continuation is None:
+        return None
+    payload = json.dumps(
+        {"q": _query_fingerprint(query), "c": continuation},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return base64.urlsafe_b64encode(payload.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(query: str, token: str) -> dict:
+    try:
+        payload = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+        fingerprint = payload["q"]
+        continuation = payload["c"]
+    except Exception:
+        raise ValueError("malformed pagination cursor") from None
+    if fingerprint != _query_fingerprint(query):
+        raise ValueError("pagination cursor does not match this query")
+    if not isinstance(continuation, dict):
+        raise ValueError("malformed pagination cursor")
+    return continuation
 
 
 def _jsonable(value):
@@ -95,10 +136,26 @@ class ExplorerAPI:
                     "view": self.explorer.snapshot(),
                 }
             if method == "POST" and path == "/api/cypher":
-                rows = self.system.cypher(
-                    str(body.get("query", "")),
-                    strict=bool(body.get("strict", True)),
-                )
+                query = str(body.get("query", ""))
+                strict = bool(body.get("strict", True))
+                if body.get("page_size") is not None:
+                    page_size = int(body["page_size"])
+                    if page_size <= 0:
+                        return 400, {"error": "page_size must be positive"}
+                    continuation = None
+                    if body.get("cursor"):
+                        continuation = decode_cursor(query, str(body["cursor"]))
+                    page = self.system.cypher_paginated(
+                        query, page_size, continuation=continuation, strict=strict
+                    )
+                    return 200, {
+                        "rows": [
+                            {k: _jsonable(v) for k, v in row.values.items()}
+                            for row in page.rows
+                        ],
+                        "cursor": encode_cursor(query, page.continuation),
+                    }
+                rows = self.system.cypher(query, strict=strict)
                 return 200, {
                     "rows": [
                         {k: _jsonable(v) for k, v in row.values.items()}
@@ -204,4 +261,4 @@ class ExplorerServer:
             self._thread.join(timeout=5.0)
 
 
-__all__ = ["ExplorerAPI", "ExplorerServer"]
+__all__ = ["ExplorerAPI", "ExplorerServer", "decode_cursor", "encode_cursor"]

@@ -24,7 +24,9 @@ SWEEP_ROOTS = [
     REPO / "benchmarks",
 ]
 
-_QUERY_RE = re.compile(r"^\s*(match|create)\s*\(", re.IGNORECASE)
+_QUERY_RE = re.compile(
+    r"^\s*(explain\s+)?(match|create)\s*\(", re.IGNORECASE
+)
 
 
 def _string_value(node: ast.expr) -> str | None:

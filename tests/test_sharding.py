@@ -291,9 +291,9 @@ def _values(rows):
 class TestShardedCypher:
     @pytest.fixture()
     def pair(self):
-        """The same corpus stored on 1 partition and on 3."""
+        """The same corpus stored on 1 partition and on 4."""
         single = ShardSet(1)
-        sharded = ShardSet(3)
+        sharded = ShardSet(4)
         records = _batch(24)
         single.store(records)
         sharded.store(records)
@@ -344,12 +344,72 @@ class TestShardedCypher:
         want = _values(one.run(query))[0]["names"]
         assert sorted(got) == sorted(want)
 
-    def test_count_distinct_raises_when_sharded(self, pair):
+    def test_count_distinct_merges_across_partitions(self, pair):
         one, many = pair
         query = "MATCH (m:Malware) RETURN count(DISTINCT m.name) AS n"
-        one.run(query)  # single partition: fine
-        with pytest.raises(CypherRuntimeError, match="count.DISTINCT"):
-            many.run(query)
+        assert _values(many.run(query)) == _values(one.run(query))
+
+    def test_numeric_aggregates_match_single_partition(self, pair):
+        one, many = pair
+        query = (
+            "MATCH (r:AttackReport)-[:MENTIONS]->(m:Malware) "
+            "RETURN m.name, count(r) AS n, min(r.name) AS lo, "
+            "max(r.name) AS hi ORDER BY m.name"
+        )
+        assert _values(many.run(query)) == _values(one.run(query))
+
+    def test_avg_merges_from_sum_count_partials(self, pair):
+        one, many = pair
+        # seed a numeric property spread across partitions (the
+        # duplicated 4 exercises cross-partition DISTINCT dedup)
+        for engine in (one, many):
+            for index, score in enumerate((2, 4, 6, 9, 4)):
+                engine.run(
+                    f"CREATE (:Malware {{name: 'avg-sample-{index}', "
+                    f"merge_key: 'malware::avg-sample-{index}', "
+                    f"score: {score}}})",
+                    strict=False,
+                )
+        query = (
+            "MATCH (m:Malware) WHERE m.score IS NOT NULL "
+            "RETURN avg(m.score) AS a, sum(m.score) AS s, "
+            "count(DISTINCT m.score) AS d, avg(DISTINCT m.score) AS ad"
+        )
+        assert _values(many.run(query)) == _values(one.run(query))
+        merged = _values(many.run(query))[0]
+        assert merged == {"a": 5.0, "s": 25, "d": 4, "ad": 5.25}
+
+    def test_paginated_streaming_matches_full_run(self, pair):
+        one, many = pair
+        query = "MATCH (m:Malware) RETURN m.name"
+        full = [row.values for row in many.run(query)]
+        rows, cont = [], None
+        while True:
+            page = many.run_paginated(query, page_size=3, continuation=cont)
+            assert len(page.rows) <= 3
+            rows.extend(row.values for row in page.rows)
+            cont = page.continuation
+            if cont is None:
+                break
+        assert rows == full
+        assert sorted(map(str, rows)) == sorted(
+            str(row.values) for row in one.run(query)
+        )
+
+    def test_paginated_blocking_matches_full_run(self, pair):
+        _one, many = pair
+        query = (
+            "MATCH (m:Malware) RETURN m.name AS name ORDER BY name"
+        )
+        full = [row.values for row in many.run(query)]
+        rows, cont = [], None
+        while True:
+            page = many.run_paginated(query, page_size=2, continuation=cont)
+            rows.extend(row.values for row in page.rows)
+            cont = page.continuation
+            if cont is None:
+                break
+        assert rows == full
 
     def test_limit_pushdown_returns_enough_rows(self, pair):
         one, many = pair

@@ -211,6 +211,74 @@ class TestExplorerAPI:
         assert status == 200
         assert payload["rows"][0]["c"] == api_system.graph.node_count
 
+    def test_cypher_pagination_round_trip(self, api_system):
+        api = ExplorerAPI(api_system)
+        query = "MATCH (n) RETURN n.name"
+        full_status, full = api.handle("POST", "/api/cypher", {"query": query})
+        assert full_status == 200
+
+        rows = []
+        cursor = None
+        pages = 0
+        while True:
+            body = {"query": query, "page_size": 5}
+            if cursor is not None:
+                body["cursor"] = cursor
+            status, payload = api.handle("POST", "/api/cypher", body)
+            assert status == 200
+            assert len(payload["rows"]) <= 5
+            rows.extend(payload["rows"])
+            pages += 1
+            cursor = payload["cursor"]
+            if cursor is None:
+                break
+            # the token is an opaque URL-safe string, not raw JSON
+            assert isinstance(cursor, str)
+            assert "{" not in cursor
+        assert pages > 1
+        assert sorted(map(repr, rows)) == sorted(map(repr, full["rows"]))
+
+    def test_cypher_cursor_rejected_for_other_query(self, api_system):
+        api = ExplorerAPI(api_system)
+        query = "MATCH (n) RETURN n.name"
+        status, payload = api.handle(
+            "POST", "/api/cypher", {"query": query, "page_size": 2}
+        )
+        assert status == 200 and payload["cursor"]
+        status, payload = api.handle(
+            "POST",
+            "/api/cypher",
+            {
+                "query": "MATCH (m:Malware) RETURN m.name",
+                "page_size": 2,
+                "cursor": payload["cursor"],
+            },
+        )
+        assert status == 400 and "cursor" in payload["error"]
+
+    def test_cypher_malformed_cursor_400(self, api_system):
+        api = ExplorerAPI(api_system)
+        status, payload = api.handle(
+            "POST",
+            "/api/cypher",
+            {
+                "query": "MATCH (n) RETURN n.name",
+                "page_size": 2,
+                "cursor": "not-a-token",
+            },
+        )
+        assert status == 400 and "cursor" in payload["error"]
+
+    def test_cypher_explain_over_api(self, api_system):
+        api = ExplorerAPI(api_system)
+        status, payload = api.handle(
+            "POST",
+            "/api/cypher",
+            {"query": "EXPLAIN MATCH (m:Malware) RETURN m.name"},
+        )
+        assert status == 200
+        assert payload["rows"] and all("plan" in row for row in payload["rows"])
+
     def test_expand_collapse_back_flow(self, api_system):
         api = ExplorerAPI(api_system)
         malware = next(iter(api_system.graph.nodes("Malware")))
