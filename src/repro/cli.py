@@ -18,6 +18,10 @@ Drives the whole system from a shell::
     python -m repro export  --state ./kgdata --out bundle.json
     python -m repro hunt    --state ./kgdata --attacks 3
     python -m repro serve   --state ./kgdata --port 8750
+    python -m repro feed export --state ./kgdata --out-dir ./bundles
+    python -m repro feed serve  --state ./kgdata --port 8750
+    python -m repro config
+    python -m repro lint
 
 ``--state DIR`` opens one unified :class:`~repro.storage.StorageEngine`
 under DIR: the graph, the search index and the incremental-crawl state
@@ -386,6 +390,51 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_feed(args: argparse.Namespace, out) -> int:
+    """``feed export``: write one sanitized bundle file per tier;
+    ``feed serve``: serve the ``/feeds/*`` endpoints (the same routes
+    ``serve`` exposes, with a dissemination-oriented banner)."""
+    from repro.feeds import TIERS
+
+    system = build_system(args)
+    if args.feed_command == "export":
+        tiers = [args.tier] if args.tier else list(TIERS)
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for tier in tiers:
+            bundle, etag = system.feeds.full_bundle(tier)
+            path = out_dir / f"feed-{tier}.json"
+            atomic_write_text(
+                path, json.dumps(bundle, indent=2, sort_keys=True) + "\n"
+            )
+            print(
+                f"{tier}: {len(bundle['objects'])} objects -> {path} "
+                f"(etag {etag})",
+                file=out,
+            )
+        system.close()
+        return 0
+    from repro.ui.server import ExplorerAPI, ExplorerServer
+
+    server = ExplorerServer(ExplorerAPI(system), port=args.port).start()
+    host, port = server.address
+    print(
+        f"feeds at http://{host}:{port}/feeds "
+        f"(tiers: {', '.join(TIERS)}; see DISSEMINATION.md)",
+        file=out,
+    )
+    if args.once:  # test hook: start, report, stop
+        server.stop()
+        return 0
+    try:  # pragma: no cover - interactive loop
+        shutdown = threading.Event()
+        while not shutdown.is_set():
+            system.clock.wait_for(shutdown, 3600.0)
+    except KeyboardInterrupt:  # pragma: no cover
+        server.stop()
+    return 0
+
+
 def cmd_config(args: argparse.Namespace, out) -> int:
     print(SystemConfig().to_json(), file=out)
     return 0
@@ -567,6 +616,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8750)
     p.add_argument("--once", action="store_true", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "feed", help="TLP-tiered STIX dissemination feeds (see DISSEMINATION.md)"
+    )
+    feed_sub = p.add_subparsers(dest="feed_command", required=True)
+    fp = feed_sub.add_parser(
+        "export", help="write one sanitized STIX bundle file per tier"
+    )
+    common(fp)
+    fp.add_argument(
+        "--out-dir",
+        dest="out_dir",
+        required=True,
+        help="directory receiving feed-<tier>.json bundle files",
+    )
+    fp.add_argument(
+        "--tier",
+        choices=("public", "partner", "internal"),
+        default=None,
+        help="export a single tier (default: all three)",
+    )
+    fp.set_defaults(func=cmd_feed)
+    fp = feed_sub.add_parser(
+        "serve", help="serve the /feeds endpoints over HTTP"
+    )
+    common(fp)
+    fp.add_argument("--port", type=int, default=8750)
+    fp.add_argument("--once", action="store_true", help=argparse.SUPPRESS)
+    fp.set_defaults(func=cmd_feed)
 
     p = sub.add_parser("config", help="print the default configuration")
     p.set_defaults(func=cmd_config)

@@ -84,6 +84,14 @@ class SystemConfig:
         ``repro.obs.health.rules_from_config``.
     health_interval:
         Seconds between health evaluations.
+    feed_keys:
+        API keys for the protected dissemination feed tiers, e.g.
+        ``{"partner": "...", "internal": "..."}``.  A key grants its
+        tier and every tier below it; ``public`` needs no key.  Tiers
+        with no key configured are not served (see DISSEMINATION.md).
+    feed_history:
+        Feed change-log entries retained per tier; pulls presenting a
+        cursor older than the window fall back to a full resync.
     """
 
     sources: list[str] | None = None
@@ -111,6 +119,8 @@ class SystemConfig:
     health: bool = False
     health_rules: dict | None = None
     health_interval: float = 5.0
+    feed_keys: dict | None = None
+    feed_history: int = 64
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), indent=2, sort_keys=True)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.connectors.base import Connector, IngestStats
 from repro.connectors.graph import GraphConnector
@@ -34,6 +35,7 @@ from repro.crawlers.engine import CrawlEngine, CrawlResult
 from repro.crawlers.fetcher import Fetcher
 from repro.crawlers.sources import build_all_crawlers
 from repro.crawlers.state import CrawlParticipant, CrawlState
+from repro.feeds import FeedPublisher
 from repro.fusion.fuse import FusionReport, KnowledgeFusion
 from repro.graphdb.cypher.executor import CypherEngine, ResultRow
 from repro.graphdb.wal import GraphDatabase, GraphParticipant
@@ -232,6 +234,29 @@ class SecurityKG:
             )
         else:
             self._cypher = CypherEngine(self.database.graph, obs=self.obs)
+        # Dissemination: one TLP-tiered feed publisher over the whole
+        # graph.  Its change stamp rides the journal seq numbers; its
+        # snapshots ride the checkpoint cycle (partition 0's engine in
+        # sharded mode -- ShardSet.checkpoint visits it first, so a
+        # crash there leaves the remaining partitions untouched,
+        # matching the E21 isolation story).
+        feed_path = (
+            None
+            if self.config.storage_path is None
+            else Path(self.config.storage_path) / "feeds"
+        )
+        self.feeds = FeedPublisher(
+            graph_source=lambda: self.graph,
+            stamp_source=self._feed_stamp,
+            keys=self.config.feed_keys,
+            path=feed_path,
+            history=self.config.feed_history,
+            obs=self.obs,
+        )
+        snapshot_host = (
+            self.engine if self.shards is None else self.shards.partitions[0].engine
+        )
+        snapshot_host.add_checkpoint_step(self.feeds.snapshot)
         self._last_skipped = 0
 
     # -- wiring ----------------------------------------------------------
@@ -277,6 +302,18 @@ class SecurityKG:
                 texts, max_iterations=self.config.crf_max_iterations
             )
         raise ValueError(f"unknown recognizer {self.config.recognizer!r}")
+
+    def _feed_stamp(self) -> tuple[tuple[int, int, int], ...]:
+        """Per-partition ``(last_seq, node_count, edge_count)`` -- the
+        feed publisher's cheap staleness check (fusion, which mutates
+        the graph without journaling, bumps a separate epoch via
+        :meth:`FeedPublisher.invalidate`)."""
+        if self.shards is not None:
+            return self.shards.feed_stamp()
+        graph = self.database.graph
+        return (
+            (self.engine.last_seq, graph.node_count, graph.edge_count),
+        )
 
     @classmethod
     def from_default_config(cls) -> "SecurityKG":
@@ -439,6 +476,7 @@ class SecurityKG:
             span.set("groups_merged", report.groups_merged)
         self.obs.metrics.inc("fusion.groups_merged", report.groups_merged)
         self.obs.metrics.inc("fusion.aliases_resolved", report.aliases_resolved)
+        self.feeds.invalidate()  # fusion rewrites the graph unjournaled
         self._update_graph_gauges()
         return report
 

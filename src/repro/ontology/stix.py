@@ -10,6 +10,14 @@ losslessly at the granularity the mapping covers.
 
 Object ids are deterministic (UUIDv5 over the merge key), so repeated
 exports of the same graph produce identical bundles.
+
+Dissemination support (``repro.feeds``) layers on top: exports can
+carry TLP (Traffic Light Protocol) ``object_marking_refs`` using the
+canonical STIX 2.1 marking-definition ids, and :func:`filter_bundle`
+derives the tier-appropriate view of a bundle -- objects above a TLP
+ceiling are dropped, relationships to dropped objects go with them,
+report ``object_refs`` are pruned to survivors, and the ``public``
+sanitization strips sourcing fields.
 """
 
 from __future__ import annotations
@@ -23,6 +31,36 @@ from repro.ontology.entities import EntityType
 
 #: UUID namespace for deterministic STIX ids.
 _NAMESPACE = uuid.UUID("8c4f4e42-97b1-4d37-9e68-1a1f9c6b2a11")
+
+#: TLP levels in increasing sensitivity order.
+TLP_LEVELS: tuple[str, ...] = ("white", "green", "amber", "red")
+
+#: Canonical STIX 2.1 TLP marking-definition ids (spec-defined UUIDs,
+#: so exported bundles interoperate with real STIX consumers).
+TLP_MARKING_IDS: dict[str, str] = {
+    "white": "marking-definition--613f2e26-407d-48c7-9eca-b8e91df99dc9",
+    "green": "marking-definition--34098fce-860f-48ae-8e50-ebd3cc5e41da",
+    "amber": "marking-definition--f88d31f6-486f-44da-b317-01333bde0b82",
+    "red": "marking-definition--5e57c739-391a-4eb3-b6be-7d15ca92d5ed",
+}
+
+#: Reverse lookup: marking-definition id -> TLP level.
+TLP_BY_MARKING_ID: dict[str, str] = {v: k for k, v in TLP_MARKING_IDS.items()}
+
+_TLP_ORDER = {level: index for index, level in enumerate(TLP_LEVELS)}
+
+#: Default classification per STIX object type when a node carries no
+#: explicit ``tlp`` property: reports expose sourcing context
+#: (need-to-know), indicators are community-shareable detection
+#: content, and bare concept/identity objects are public vocabulary.
+_DEFAULT_TLP_BY_TYPE: dict[str, str] = {
+    "report": "amber",
+    "indicator": "green",
+}
+
+#: Report fields stripped by ``public``-grade sanitization (they reveal
+#: where and how the intelligence was collected).
+_SANITIZED_FIELDS: tuple[str, ...] = ("x_source", "x_url")
 
 #: Ontology node label -> STIX object type.
 STIX_TYPE_BY_LABEL: dict[str, str] = {
@@ -87,6 +125,46 @@ def stix_id(stix_type: str, key: str) -> str:
     return f"{stix_type}--{uuid.uuid5(_NAMESPACE, f'{stix_type}|{key}')}"
 
 
+def tlp_order(level: str) -> int:
+    """Position of a TLP level in the sensitivity order."""
+    try:
+        return _TLP_ORDER[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown TLP level {level!r}; known: {list(TLP_LEVELS)}"
+        ) from None
+
+
+def max_tlp(levels: list[str] | tuple[str, ...]) -> str:
+    """The most sensitive of several TLP levels (``white`` when empty)."""
+    best = "white"
+    for level in levels:
+        if tlp_order(level) > tlp_order(best):
+            best = level
+    return best
+
+
+def tlp_of_object(stix_object: dict) -> str:
+    """TLP level of a STIX object: its TLP marking ref when present,
+    otherwise the default for its object type (``white`` for concepts)."""
+    for ref in stix_object.get("object_marking_refs", []):
+        level = TLP_BY_MARKING_ID.get(ref)
+        if level is not None:
+            return level
+    return _DEFAULT_TLP_BY_TYPE.get(stix_object.get("type", ""), "white")
+
+
+def tlp_marking_object(level: str) -> dict:
+    """The STIX marking-definition object for a TLP level."""
+    return {
+        "type": "marking-definition",
+        "id": TLP_MARKING_IDS[level],
+        "definition_type": "tlp",
+        "definition": {"tlp": level},
+        "name": f"TLP:{level.upper()}",
+    }
+
+
 @dataclass
 class StixBundle:
     """A STIX-shaped bundle: ``{type, id, objects}``."""
@@ -111,7 +189,7 @@ def _node_key(node) -> str:
     return str(node.properties.get("merge_key") or node.properties.get("name", ""))
 
 
-def export_graph(graph: PropertyGraph) -> StixBundle:
+def export_graph(graph: PropertyGraph, markings: bool = False) -> StixBundle:
     """Export a knowledge graph to a STIX-shaped bundle.
 
     * concept nodes become their SDO type with ``name`` (+ ``aliases``);
@@ -121,9 +199,17 @@ def export_graph(graph: PropertyGraph) -> StixBundle:
       the vendor identity (DESCRIBES stays a relationship so the edge
       round-trips);
     * every other edge becomes a ``relationship`` object.
+
+    With ``markings=True`` every object additionally carries a TLP
+    ``object_marking_refs`` entry -- an explicit node ``tlp`` property
+    wins, otherwise the object type's default classification applies,
+    and a relationship inherits the most sensitive of its endpoints --
+    and the referenced TLP marking-definition objects are appended to
+    the bundle (the dissemination path, see ``repro.feeds``).
     """
     bundle = StixBundle()
     id_by_node: dict[int, str] = {}
+    tlp_by_id: dict[str, str] = {}
 
     for node in graph.nodes():
         label = node.label
@@ -160,6 +246,19 @@ def export_graph(graph: PropertyGraph) -> StixBundle:
                 stix_object["identity_class"] = "organization"
         else:
             raise StixMappingError(f"no STIX mapping for label {label!r}")
+        # the identity key the object id was derived from: carrying it
+        # lets import_bundle restore merge_key exactly, so an
+        # export/import/export cycle converges to identical object ids
+        stix_object["x_securitykg_key"] = key
+        if markings:
+            explicit = node.properties.get("tlp")
+            if explicit is not None:
+                level = str(explicit).lower()
+                tlp_order(level)  # validate
+            else:
+                level = _DEFAULT_TLP_BY_TYPE.get(stix_object["type"], "white")
+            stix_object["object_marking_refs"] = [TLP_MARKING_IDS[level]]
+            tlp_by_id[stix_object["id"]] = level
         id_by_node[node.node_id] = stix_object["id"]
         bundle.objects.append(stix_object)
 
@@ -177,20 +276,96 @@ def export_graph(graph: PropertyGraph) -> StixBundle:
             objects_by_id[src_id]["created_by_ref"] = dst_id
             continue
         relationship_type = STIX_RELATIONSHIP_BY_EDGE.get(edge.type, "related-to")
-        bundle.objects.append(
-            {
-                "type": "relationship",
-                "id": stix_id(
-                    "relationship", f"{src_id}|{edge.type}|{dst_id}"
-                ),
-                "relationship_type": relationship_type,
-                "source_ref": src_id,
-                "target_ref": dst_id,
-                "x_securitykg_type": edge.type,
-                "x_weight": edge.properties.get("weight", 1),
-            }
-        )
+        relationship = {
+            "type": "relationship",
+            "id": stix_id(
+                "relationship", f"{src_id}|{edge.type}|{dst_id}"
+            ),
+            "relationship_type": relationship_type,
+            "source_ref": src_id,
+            "target_ref": dst_id,
+            "x_securitykg_type": edge.type,
+            "x_weight": edge.properties.get("weight", 1),
+        }
+        if markings:
+            level = max_tlp([tlp_by_id[src_id], tlp_by_id[dst_id]])
+            relationship["object_marking_refs"] = [TLP_MARKING_IDS[level]]
+        bundle.objects.append(relationship)
+    if markings:
+        for level in TLP_LEVELS:
+            if level in tlp_by_id.values() or any(
+                o.get("object_marking_refs") == [TLP_MARKING_IDS[level]]
+                for o in bundle.objects
+            ):
+                bundle.objects.append(tlp_marking_object(level))
     return bundle
+
+
+def filter_bundle(
+    bundle: StixBundle, max_level: str, sanitize: bool = False
+) -> StixBundle:
+    """The view of a bundle a consumer cleared up to ``max_level`` may
+    see.
+
+    * objects classified above the ceiling are dropped;
+    * relationships whose source or target was dropped go with them;
+    * surviving report ``object_refs`` are pruned to surviving ids;
+    * marking-definitions above the ceiling are dropped;
+    * ``sanitize=True`` additionally strips sourcing fields
+      (``x_source``, ``x_url``) from reports -- the public-feed grade.
+
+    Objects are deep-copied, so the input bundle is never mutated, and
+    the output ordering is canonical (sorted by object id) so identical
+    graph states always serialise to identical bytes.
+    """
+    ceiling = tlp_order(max_level)
+    kept: dict[str, dict] = {}
+    relationships: list[dict] = []
+    for stix_object in bundle.objects:
+        if stix_object.get("type") == "marking-definition":
+            level = TLP_BY_MARKING_ID.get(stix_object.get("id", ""))
+            if level is not None and tlp_order(level) > ceiling:
+                continue
+            kept[stix_object["id"]] = json.loads(json.dumps(stix_object))
+            continue
+        if tlp_order(tlp_of_object(stix_object)) > ceiling:
+            continue
+        copy = json.loads(json.dumps(stix_object))
+        if stix_object.get("type") == "relationship":
+            relationships.append(copy)
+        else:
+            kept[copy["id"]] = copy
+    for relationship in relationships:
+        if (
+            relationship["source_ref"] in kept
+            and relationship["target_ref"] in kept
+        ):
+            kept[relationship["id"]] = relationship
+    for stix_object in kept.values():
+        if "object_refs" in stix_object:
+            stix_object["object_refs"] = sorted(
+                ref for ref in stix_object["object_refs"] if ref in kept
+            )
+        if "created_by_ref" in stix_object:
+            if stix_object["created_by_ref"] not in kept:
+                del stix_object["created_by_ref"]
+        if sanitize and stix_object.get("type") == "report":
+            for field_name in _SANITIZED_FIELDS:
+                stix_object.pop(field_name, None)
+    return StixBundle(objects=[kept[key] for key in sorted(kept)])
+
+
+def canonical_bundle(bundle: StixBundle) -> StixBundle:
+    """A canonically ordered copy: objects sorted by id, report
+    ``object_refs`` sorted -- identical graph states serialise to
+    identical bytes regardless of iteration or partition order."""
+    objects = {
+        o["id"]: json.loads(json.dumps(o)) for o in bundle.objects
+    }
+    for stix_object in objects.values():
+        if "object_refs" in stix_object:
+            stix_object["object_refs"] = sorted(stix_object["object_refs"])
+    return StixBundle(objects=[objects[key] for key in sorted(objects)])
 
 
 def import_bundle(bundle: StixBundle | dict) -> PropertyGraph:
@@ -214,11 +389,21 @@ def import_bundle(bundle: StixBundle | dict) -> PropertyGraph:
             continue
         properties: dict[str, object] = {
             "name": stix_object.get("name", ""),
-            "merge_key": str(stix_object.get("name", "")).lower(),
+            "merge_key": str(
+                stix_object.get("x_securitykg_key")
+                or str(stix_object.get("name", "")).lower()
+            ),
             "stix_id": stix_object["id"],
         }
         if stix_object.get("aliases"):
             properties["aliases"] = list(stix_object["aliases"])
+        marked = tlp_of_object(stix_object)
+        if stix_object.get("object_marking_refs") and marked != (
+            _DEFAULT_TLP_BY_TYPE.get(stix_object["type"], "white")
+        ):
+            # a marking stricter/looser than the type default was an
+            # explicit node property; restore it so re-export agrees
+            properties["tlp"] = marked
         if stix_object["type"] == "report":
             properties["published"] = stix_object.get("published", "")
             properties["source"] = stix_object.get("x_source", "")
@@ -256,9 +441,18 @@ def import_bundle(bundle: StixBundle | dict) -> PropertyGraph:
 __all__ = [
     "STIX_RELATIONSHIP_BY_EDGE",
     "STIX_TYPE_BY_LABEL",
+    "TLP_BY_MARKING_ID",
+    "TLP_LEVELS",
+    "TLP_MARKING_IDS",
     "StixBundle",
     "StixMappingError",
+    "canonical_bundle",
     "export_graph",
+    "filter_bundle",
     "import_bundle",
+    "max_tlp",
     "stix_id",
+    "tlp_marking_object",
+    "tlp_of_object",
+    "tlp_order",
 ]

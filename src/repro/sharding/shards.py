@@ -379,6 +379,20 @@ class ShardSet:
                 merged.create_edge(edge.src, edge.type, edge.dst, edge.properties)
         return merged
 
+    def feed_stamp(self) -> tuple[tuple[int, int, int], ...]:
+        """Cheap per-partition change stamp for the feed publisher:
+        ``(last_seq, node_count, edge_count)`` per shard, in partition
+        order.  Deterministic for seeded runs, so the sharded gather of
+        feed deltas is too."""
+        return tuple(
+            (
+                partition.engine.last_seq,
+                partition.graph.node_count,
+                partition.graph.edge_count,
+            )
+            for partition in self.partitions
+        )
+
     # -- ingest markers -------------------------------------------------
 
     def is_ingested(self, report_id: str) -> bool:

@@ -172,6 +172,7 @@ class StorageEngine:
         self._closed = False
         self._journal_handle = None
         self._journal_path: Path | None = None
+        self._checkpoint_steps: list = []
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
             self._recover()
@@ -476,6 +477,17 @@ class StorageEngine:
 
     # -- checkpoint (log compaction) --------------------------------------
 
+    def add_checkpoint_step(self, step) -> None:
+        """Register a zero-argument callable to run after every
+        successful checkpoint (feed snapshot publication, cache
+        rebuilds).  Steps run *outside* the engine lock -- they may do
+        their own I/O -- and are skipped when the checkpoint itself
+        crashed (the ``checkpoint.feeds-snapshot`` crash point models
+        dying in that window; recovery simply re-runs the steps at the
+        next checkpoint)."""
+        with self.lock:
+            self._checkpoint_steps.append(step)
+
     def checkpoint(self) -> None:
         """Compact: snapshot every participant, start a fresh journal,
         and atomically swap the manifest to the new generation."""
@@ -483,6 +495,9 @@ class StorageEngine:
             with self.lock:
                 self._check_usable()
                 self._staged = []  # effects live in memory only anyway
+                steps = list(self._checkpoint_steps)
+            for step in steps:
+                step()
             return
         with self.lock:
             self._check_usable()
@@ -491,6 +506,10 @@ class StorageEngine:
             ) as span:
                 self._checkpoint_locked()
             self._obs.metrics.observe("storage.checkpoint_seconds", span.duration)
+            self._crash_point("checkpoint.feeds-snapshot")
+            steps = list(self._checkpoint_steps)
+        for step in steps:
+            step()
 
     def _checkpoint_locked(self) -> None:
         """The checkpoint body (caller holds the lock and the span)."""

@@ -39,6 +39,7 @@ CRASH_POINTS: tuple[str, ...] = (
     "checkpoint.torn-manifest",   # partial manifest temp file left behind
     "checkpoint.after-manifest",  # manifest swapped, old generation not yet removed
     "checkpoint.after-cleanup",   # checkpoint fully complete
+    "checkpoint.feeds-snapshot",  # post-checkpoint feed snapshots about to run
 )
 
 

@@ -21,7 +21,18 @@ endpoints correspond one-to-one to the interactions the demo shows:
 ``POST /api/drag``        body ``{"id", "x", "y"}``; drag with lock
 ``POST /api/back``        back button
 ``POST /api/random``      body ``{"size"?}``; random subgraph
+``GET  /feeds``           dissemination index: tiers, object counts, ETags
+``GET  /feeds/<tier>``    TLP-tiered STIX bundle (tier ``public``,
+                          ``partner`` or ``internal``); protected tiers
+                          take an ``X-API-Key`` header or ``?key=``;
+                          ``?cursor=`` returns an incremental delta
+                          since that cursor; ``If-None-Match`` with the
+                          last ``ETag`` returns 304 -- see
+                          DISSEMINATION.md for the wire contract
 =======================  =====================================================
+
+The table above is the serving contract: ``tests/test_docs.py`` checks
+it against the :data:`ROUTES` registry in both directions.
 """
 
 from __future__ import annotations
@@ -31,12 +42,45 @@ import hashlib
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.system import SecurityKG
 from repro.graphdb.cypher import CypherAnalysisError
 from repro.graphdb.store import Edge, Node
 from repro.runtime import named_lock
 from repro.ui.explorer import GraphExplorer
+
+#: Every route the API serves, as ``(method, path)``.  ``<tier>`` is a
+#: placeholder segment.  The module docstring's table and this registry
+#: are kept in lockstep by ``tests/test_docs.py``.
+ROUTES: tuple[tuple[str, str], ...] = (
+    ("GET", "/api/graph"),
+    ("GET", "/api/stats"),
+    ("GET", "/metrics"),
+    ("GET", "/api/metrics"),
+    ("GET", "/trace"),
+    ("GET", "/api/trace"),
+    ("GET", "/health"),
+    ("GET", "/api/health"),
+    ("GET", "/feeds"),
+    ("GET", "/feeds/<tier>"),
+    ("POST", "/api/search"),
+    ("POST", "/api/cypher"),
+    ("POST", "/api/expand"),
+    ("POST", "/api/collapse"),
+    ("POST", "/api/drag"),
+    ("POST", "/api/back"),
+    ("POST", "/api/random"),
+)
+
+
+def _header(headers: dict, name: str) -> str | None:
+    """Case-insensitive header lookup over a plain dict."""
+    lowered = name.lower()
+    for key, value in headers.items():
+        if key.lower() == lowered:
+            return value
+    return None
 
 
 def _query_fingerprint(query: str) -> str:
@@ -105,8 +149,59 @@ class ExplorerAPI:
 
     def handle(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
         """Dispatch one request; returns (status, payload)."""
+        status, payload, _headers = self.handle_full(method, path, body)
+        return status, payload
+
+    def handle_full(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict | None, dict]:
+        """Dispatch one request with headers; returns
+        ``(status, payload, response_headers)``.  The payload is
+        ``None`` for bodyless responses (304)."""
+        parsed = urlsplit(path)
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(parsed.query).items()
+        }
         with self._lock:
-            return self._handle_locked(method, path, body)
+            if parsed.path == "/feeds" or parsed.path.startswith("/feeds/"):
+                return self._handle_feeds_locked(
+                    method, parsed.path, params, headers or {}
+                )
+            status, payload = self._handle_locked(method, parsed.path, body)
+            return status, payload, {}
+
+    def _handle_feeds_locked(
+        self, method: str, path: str, params: dict, headers: dict
+    ) -> tuple[int, dict | None, dict]:
+        feeds = self.system.feeds
+        if method != "GET":
+            return 404, {"error": f"no route {method} {path}"}, {}
+        if path == "/feeds":
+            return 200, feeds.describe(), {}
+        tier = path[len("/feeds/"):]
+        try:
+            denied = feeds.authorize(
+                tier, _header(headers, "X-API-Key") or params.get("key")
+            )
+            if denied is not None:
+                status, message = denied
+                return status, {"error": message}, {}
+            response = feeds.pull(
+                tier,
+                cursor=params.get("cursor"),
+                etag=_header(headers, "If-None-Match"),
+            )
+        except ValueError as error:
+            return 400, {"error": str(error)}, {}
+        response_headers = {"ETag": response.etag}
+        if response.cursor is not None:
+            response_headers["X-Feed-Cursor"] = response.cursor
+        return response.status, response.payload, response_headers
 
     def _handle_locked(
         self, method: str, path: str, body: dict | None = None
@@ -216,17 +311,28 @@ class ExplorerServer:
             def log_message(self, *args):  # noqa: A003 - silence request log
                 pass
 
-            def _respond(self, status: int, payload: dict) -> None:
-                data = json.dumps(payload).encode()
+            def _respond(
+                self,
+                status: int,
+                payload: dict | None,
+                extra_headers: dict | None = None,
+            ) -> None:
+                data = b"" if payload is None else json.dumps(payload).encode()
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                for name, value in (extra_headers or {}).items():
+                    self.send_header(name, value)
+                if payload is not None:
+                    self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(data)))
                 self.end_headers()
-                self.wfile.write(data)
+                if data:
+                    self.wfile.write(data)
 
             def do_GET(self):  # noqa: N802 - stdlib naming
-                status, payload = outer.api.handle("GET", self.path)
-                self._respond(status, payload)
+                status, payload, extra = outer.api.handle_full(
+                    "GET", self.path, headers=dict(self.headers.items())
+                )
+                self._respond(status, payload, extra)
 
             def do_POST(self):  # noqa: N802 - stdlib naming
                 length = int(self.headers.get("Content-Length", "0"))
@@ -237,8 +343,10 @@ class ExplorerServer:
                     except json.JSONDecodeError:
                         self._respond(400, {"error": "invalid JSON body"})
                         return
-                status, payload = outer.api.handle("POST", self.path, body)
-                self._respond(status, payload)
+                status, payload, extra = outer.api.handle_full(
+                    "POST", self.path, body, headers=dict(self.headers.items())
+                )
+                self._respond(status, payload, extra)
 
         self._server = ThreadingHTTPServer((host, port), Handler)
         self._thread: threading.Thread | None = None
@@ -261,4 +369,10 @@ class ExplorerServer:
             self._thread.join(timeout=5.0)
 
 
-__all__ = ["ExplorerAPI", "ExplorerServer", "decode_cursor", "encode_cursor"]
+__all__ = [
+    "ExplorerAPI",
+    "ExplorerServer",
+    "ROUTES",
+    "decode_cursor",
+    "encode_cursor",
+]

@@ -1,0 +1,149 @@
+"""Docs drift sweeps: serving surfaces must match their documentation.
+
+Two contracts, each checked in *both* directions so neither the code
+nor the docs can drift silently:
+
+* every UI route in :data:`repro.ui.server.ROUTES` appears in the
+  ``ui/server.py`` module docstring's route table, and every
+  ``GET/POST /path`` token in that table is a registered route;
+* every CLI subcommand registered on the argparse parser appears in the
+  ``repro.cli`` module docstring's usage examples, and every
+  ``python -m repro <command>`` example names a real subcommand.
+
+DISSEMINATION.md is part of the serving story: the feeds routes and
+the ``feed`` subcommand must be documented there too.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import repro.cli as cli
+import repro.ui.server as server
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``\`\`GET  /path\`\``` tokens in the route table (method + path in
+#: one literal), tolerant of column-alignment whitespace.
+ROUTE_TOKEN = re.compile(r"``(GET|POST)\s+(/[^`\s]+)``")
+
+#: ``python -m repro <command>`` usage examples in the CLI docstring.
+CLI_EXAMPLE = re.compile(r"python -m repro\s+([a-z][a-z0-9-]*)")
+
+
+def documented_routes() -> set[tuple[str, str]]:
+    return {
+        (method, path)
+        for method, path in ROUTE_TOKEN.findall(server.__doc__)
+    }
+
+
+def cli_subcommands() -> set[str]:
+    parser = cli.build_parser()
+    actions = [
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+    assert len(actions) == 1
+    return set(actions[0].choices)
+
+
+class TestUiRouteTable:
+    def test_every_route_is_documented(self):
+        documented = documented_routes()
+        for method, path in server.ROUTES:
+            assert (method, path) in documented or path in server.__doc__, (
+                f"route {method} {path} is served but missing from the "
+                "ui/server.py docstring table"
+            )
+
+    def test_every_documented_route_exists(self):
+        for method, path in documented_routes():
+            assert (method, path) in server.ROUTES, (
+                f"docstring documents {method} {path} but ROUTES does not "
+                "serve it"
+            )
+
+    def test_feeds_routes_are_served(self):
+        assert ("GET", "/feeds") in server.ROUTES
+        assert ("GET", "/feeds/<tier>") in server.ROUTES
+
+    def test_registry_matches_dispatch(self):
+        """Spot-check the registry against the live dispatcher: every
+        GET route without a placeholder answers something other than
+        404, and an unregistered path answers exactly 404."""
+        from repro.core.config import SystemConfig
+        from repro.core.system import SecurityKG
+
+        api = server.ExplorerAPI(
+            SecurityKG(
+                SystemConfig(
+                    scenario_count=3, reports_per_site=1,
+                    sources=["ThreatPedia"], connectors=["graph", "search"],
+                    clock="virtual",
+                )
+            )
+        )
+        for method, path in server.ROUTES:
+            if method != "GET" or "<" in path:
+                continue
+            status, _payload, _headers = api.handle_full(method, path)
+            assert status != 404, f"registered route {method} {path} 404s"
+        status, _payload, _headers = api.handle_full("GET", "/api/nonsense")
+        assert status == 404
+
+
+class TestCliDocstring:
+    def test_every_subcommand_has_a_usage_example(self):
+        documented = set(CLI_EXAMPLE.findall(cli.__doc__))
+        for name in cli_subcommands():
+            assert name in documented, (
+                f"CLI subcommand {name!r} has no usage example in the "
+                "repro.cli docstring"
+            )
+
+    def test_every_usage_example_is_a_subcommand(self):
+        known = cli_subcommands()
+        for name in CLI_EXAMPLE.findall(cli.__doc__):
+            assert name in known, (
+                f"repro.cli docstring shows `python -m repro {name}` but "
+                f"no such subcommand exists"
+            )
+
+    def test_feed_subcommands(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["feed", "export", "--out-dir", "/tmp/x", "--tier", "public"]
+        )
+        assert args.feed_command == "export"
+        args = parser.parse_args(["feed", "serve", "--port", "0"])
+        assert args.feed_command == "serve"
+
+
+class TestDisseminationDoc:
+    def test_dissemination_md_exists(self):
+        assert (REPO_ROOT / "DISSEMINATION.md").exists()
+
+    def test_core_contract_is_documented(self):
+        text = (REPO_ROOT / "DISSEMINATION.md").read_text(encoding="utf-8")
+        for needle in (
+            "/feeds/<tier>",
+            "public",
+            "partner",
+            "internal",
+            "TLP",
+            "cursor",
+            "ETag",
+            "If-None-Match",
+            "X-API-Key",
+            "feed_keys",
+            "repro feed export",
+        ):
+            assert needle in text, f"DISSEMINATION.md never mentions {needle!r}"
+
+    def test_cross_linked(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        assert "DISSEMINATION.md" in readme
+        assert "DISSEMINATION.md" in design
