@@ -13,6 +13,10 @@ Drives the whole system from a shell::
         'MATCH (m:Malware) RETURN m.name'
     python -m repro cypher  --state ./kgdata \
         'EXPLAIN MATCH (m:Malware {name: "agent tesla"}) RETURN m'
+    python -m repro cypher  --state ./kgdata \
+        'PROFILE MATCH (m:Malware) RETURN m.name ORDER BY m.name'
+    python -m repro profile --from-trace trace.jsonl --flame out.folded
+    python -m repro profile --from-trace trace.jsonl --json --top 15
     python -m repro stats   --state ./kgdata
     python -m repro fuse    --state ./kgdata
     python -m repro export  --state ./kgdata --out bundle.json
@@ -34,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import threading
 from pathlib import Path
@@ -202,6 +207,15 @@ def cmd_cypher(args: argparse.Namespace, out) -> int:
         return count
 
     try:
+        if re.match(r"\s*PROFILE\b", args.query, re.IGNORECASE):
+            # Instrumented execution: annotated operator tree first
+            # (with per-partition sub-profiles when sharded), then the
+            # data rows, which are identical to the unprofiled query's.
+            prof = system.cypher_profile(args.query, strict=strict)
+            for line in prof.lines():
+                print(line, file=out)
+            print(f"({emit(prof.rows)} row(s))", file=out)
+            return 0
         if page_size is not None:
             # Preemptable path: fetch page by page, resuming each page
             # from the previous continuation, and mark page boundaries.
@@ -284,6 +298,35 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         print(json.dumps(stats.to_dict(), indent=2, sort_keys=True), file=out)
     else:
         print(stats.describe(), file=out)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace, out) -> int:
+    """Offline self-time profile over a trace written by ``run --trace``.
+
+    All output is a pure function of the canonical trace, so a seeded
+    virtual-clock run produces byte-identical folded/JSON artifacts.
+    """
+    from repro.obs.profile import (
+        profile_dict,
+        render_profile,
+        write_folded,
+    )
+    from repro.obs.summary import load_trace
+
+    spans = load_trace(Path(args.from_trace))
+    if getattr(args, "flame", None):
+        write_folded(Path(args.flame), spans)
+        print(f"wrote collapsed stacks to {args.flame}", file=out)
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                profile_dict(spans, top=args.top), indent=2, sort_keys=True
+            ),
+            file=out,
+        )
+    elif not getattr(args, "flame", None):
+        print(render_profile(spans, top=args.top), file=out)
     return 0
 
 
@@ -595,6 +638,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", help="also write the report JSON to a file")
     p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "profile",
+        help="self-time hotspot profile over a trace from `run --trace`",
+    )
+    p.add_argument(
+        "--from-trace",
+        dest="from_trace",
+        required=True,
+        help="trace JSONL written by `run --trace`",
+    )
+    p.add_argument(
+        "--flame",
+        help="write canonical collapsed-stack flamegraph lines "
+        "(self time in integer microseconds) to this file",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="hotspot table size (default 10)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full profile (per-name aggregates, unit costs, "
+        "hotspots) as JSON instead of the text table",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("fuse", help="run the knowledge-fusion stage")
     common(p)

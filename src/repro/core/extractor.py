@@ -51,6 +51,11 @@ class Extractor:
             ) as ner_span:
                 sentences, mentions = self.recognizer.extract(text)
                 ner_span.set("mentions", len(mentions))
+                # token volume drives the NER seconds/token unit cost
+                # in the profile layer and the E24 baseline
+                ner_span.set(
+                    "tokens", sum(len(s.tokens) for s in sentences)
+                )
             existing = {(m.text.lower(), m.type) for m in record.mentions}
             for mention in mentions:
                 if mention.confidence < self.min_confidence:

@@ -132,6 +132,9 @@ class Pipeline:
                 if key:
                     span.set("report", key)
             result = stage.fn(item)
+            # stamped before encoding so per-stage unit costs
+            # (repro.obs.profile) can count only the surviving items
+            span.set("outcome", "filtered" if result is None else "ok")
             if result is not None and stage.codec is not None:
                 result = stage.codec.encode(result)
             return result

@@ -233,7 +233,9 @@ class SecurityKG:
                 [partition.cypher for partition in self.shards.partitions]
             )
         else:
-            self._cypher = CypherEngine(self.database.graph, obs=self.obs)
+            self._cypher = CypherEngine(
+                self.database.graph, obs=self.obs, clock=self.clock
+            )
         # Dissemination: one TLP-tiered feed publisher over the whole
         # graph.  Its change stamp rides the journal seq numbers; its
         # snapshots ride the checkpoint cycle (partition 0's engine in
@@ -538,6 +540,22 @@ class SecurityKG:
         return self._cypher.run_paginated(
             query, page_size, continuation=continuation, strict=strict
         )
+
+    def cypher_profile(
+        self,
+        query: str,
+        strict: bool | None = None,
+        step_cost: float = 0.0,
+    ):
+        """Execute a Cypher query with per-operator instrumentation.
+
+        Returns a :class:`~repro.graphdb.cypher.executor.QueryProfile`
+        whose rows are identical to :meth:`cypher` output and whose
+        operator counters (rows, ``next()`` calls, cumulative/self
+        seconds on the injected clock) annotate the physical plan --
+        including per-partition sub-profiles in sharded deployments.
+        """
+        return self._cypher.profile(query, strict=strict, step_cost=step_cost)
 
     def keyword_search(self, query: str, limit: int = 10) -> list[SearchHit]:
         """Keyword search over collected reports (the Elasticsearch path)."""

@@ -10,6 +10,7 @@ from repro.graphdb.cypher.executor import (
     CypherEngine,
     CypherPage,
     CypherRuntimeError,
+    QueryProfile,
     QueryTask,
     ResultRow,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "ExecutionContext",
     "PhysicalPlan",
     "QuantumExhausted",
+    "QueryProfile",
     "QueryTask",
     "ResultRow",
     "build_plan",

@@ -158,6 +158,8 @@ class MatchQuery:
     limit: int | None = None
     #: EXPLAIN-prefixed query: plan and describe instead of executing
     explain: bool = False
+    #: PROFILE-prefixed query: execute with per-operator instrumentation
+    profile: bool = False
 
 
 @dataclass

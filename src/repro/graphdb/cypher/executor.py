@@ -34,6 +34,7 @@ from repro.graphdb.cypher.lexer import CypherSyntaxError
 from repro.graphdb.cypher.parser import parse
 from repro.graphdb.store import Edge, Node, PropertyGraph
 from repro.obs import NO_OBS, Obs
+from repro.runtime.clock import Clock, REAL_CLOCK
 
 
 class CypherRuntimeError(ValueError):
@@ -85,11 +86,84 @@ class CypherPage:
     continuation: dict | None = None
 
 
+@dataclass
+class QueryProfile:
+    """The result of a ``PROFILE`` query: rows plus operator counters.
+
+    ``operators`` lists the linear plan root-first, one dict per
+    operator: ``operator``, ``detail``, ``rows`` produced, ``calls``
+    (``next()`` invocations), ``cumulative_s`` (clock seconds inside
+    the operator including its child) and ``self_s`` (cumulative minus
+    the child's cumulative).  ``partitions`` carries per-partition
+    operator lists for sharded scatter-gather profiles.
+
+    The profiled execution is the preemptable operator tree run to
+    completion, so ``rows`` is row-identical to the unprofiled query.
+    """
+
+    rows: list[ResultRow]
+    operators: list[dict]
+    partitions: dict[str, list[dict]] | None = None
+
+    def lines(self) -> list[str]:
+        """Annotated operator tree, EXPLAIN-style indentation."""
+        out = _profile_lines(self.operators)
+        for key in sorted(self.partitions or (), key=lambda k: (len(k), k)):
+            out.append(f"partition {key}:")
+            out.extend(
+                "  " + line for line in _profile_lines(self.partitions[key])
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering for the UI server and CLI ``--json``."""
+        payload: dict = {
+            "rows": len(self.rows),
+            "operators": self.operators,
+        }
+        if self.partitions is not None:
+            payload["partitions"] = self.partitions
+        return payload
+
+
+def _profile_lines(operators: list[dict]) -> list[str]:
+    lines = []
+    for depth, op in enumerate(operators):
+        head = f"{op['operator']} {op['detail']}".rstrip()
+        lines.append(
+            "  " * depth + head
+            + f"  (rows={op['rows']} calls={op['calls']} "
+            f"self={op['self_s']:.6f}s total={op['cumulative_s']:.6f}s)"
+        )
+    return lines
+
+
+def _operator_stats(profilers) -> list[dict]:
+    """Root-first counter dicts with self time from cumulative times.
+
+    The plan is a linear chain, so an operator's only child is the
+    next entry; its self time is the cumulative difference (clamped at
+    zero -- a parent can observe slightly less than its child charges
+    when ``step_cost`` ticks fire inside the child's ``next``).
+    """
+    stats = [profiler.stats() for profiler in profilers]
+    for index, entry in enumerate(stats):
+        child_s = (
+            stats[index + 1]["cumulative_s"] if index + 1 < len(stats) else 0.0
+        )
+        entry["self_s"] = max(0.0, entry["cumulative_s"] - child_s)
+    return stats
+
+
 class CypherEngine:
     """Execute parsed Cypher against a property graph."""
 
     def __init__(
-        self, graph: PropertyGraph, strict: bool = True, obs: Obs = NO_OBS
+        self,
+        graph: PropertyGraph,
+        strict: bool = True,
+        obs: Obs = NO_OBS,
+        clock: Clock | None = None,
     ):
         self.graph = graph
         #: default-on semantic analysis: queries with ERROR-severity
@@ -98,6 +172,14 @@ class CypherEngine:
         #: observability bundle (``cypher.plan`` / ``cypher.slice``
         #: spans, slice counters); the no-op default is free
         self.obs = obs
+        #: timestamp source for PROFILE operator timing; falls back to
+        #: the tracer's clock so a virtual-clock deployment profiles on
+        #: its own timeline without extra plumbing
+        self.clock = (
+            clock
+            if clock is not None
+            else getattr(obs.tracer, "clock", None) or REAL_CLOCK
+        )
         self._schema_cache: tuple[tuple[int, int], object] | None = None
 
     # -- public API -----------------------------------------------------
@@ -110,6 +192,9 @@ class CypherEngine:
         queries that intentionally probe labels the graph lacks.
         ``EXPLAIN``-prefixed queries return the physical plan as one
         ``plan`` row per operator instead of executing.
+        ``PROFILE``-prefixed queries execute with instrumentation and
+        return the data rows (row-identical to the plain query); reach
+        the operator counters through :meth:`profile`.
         """
         parsed = parse(query)
         if self.strict if strict is None else strict:
@@ -121,6 +206,8 @@ class CypherEngine:
             return []
         if parsed.explain:
             return self.explain_rows(parsed)
+        if parsed.profile:
+            return self.profile_parsed(parsed).rows
         return self._execute_match(parsed)
 
     def plan(self, parsed: ast.MatchQuery):
@@ -136,6 +223,51 @@ class CypherEngine:
         """The physical plan as result rows (one ``plan`` line each)."""
         plan = self.plan(parsed)
         return [ResultRow({"plan": line}) for line in plan.explain_lines()]
+
+    def profile(
+        self,
+        query: str,
+        strict: bool | None = None,
+        step_cost: float = 0.0,
+    ) -> QueryProfile:
+        """Execute with per-operator instrumentation.
+
+        The plan is instantiated with every operator wrapped in a
+        :class:`~repro.graphdb.cypher.iterators.ProfiledOp` and run to
+        completion; the result carries the data rows *and* per-operator
+        rows/calls/seconds.  ``step_cost`` charges virtual seconds per
+        safe-point tick, giving virtual-clock profiles deterministic
+        nonzero timings.  The ``PROFILE`` keyword prefix is optional
+        here -- this entry point always profiles.
+        """
+        parsed = parse(query)
+        if self.strict if strict is None else strict:
+            self._check(parsed, query)
+        if not isinstance(parsed, ast.MatchQuery):
+            raise CypherRuntimeError("PROFILE applies to MATCH queries only")
+        return self.profile_parsed(parsed, step_cost=step_cost)
+
+    def profile_parsed(
+        self, parsed: ast.MatchQuery, step_cost: float = 0.0
+    ) -> QueryProfile:
+        """Profile an already-parsed (and already-analyzed) MATCH query."""
+        from repro.graphdb.cypher.iterators import ExecutionContext
+
+        context = ExecutionContext(clock=self.clock, step_cost=step_cost)
+        plan = self.plan(parsed)
+        with self.obs.tracer.span("cypher.profile") as span:
+            root, profilers = plan.build_profiled(self.graph, context)
+            context.begin_slice()
+            rows: list[ResultRow] = []
+            while True:
+                row = root.next()
+                if row is None:
+                    break
+                rows.append(ResultRow(row))
+            span.set("operators", len(profilers))
+            span.set("rows", len(rows))
+        self.obs.metrics.inc("cypher.profiled")
+        return QueryProfile(rows=rows, operators=_operator_stats(profilers))
 
     def run_paginated(
         self,
@@ -161,6 +293,10 @@ class CypherEngine:
             return CypherPage(rows=[])
         if parsed.explain:
             return CypherPage(rows=self.explain_rows(parsed))
+        if parsed.profile:
+            # like EXPLAIN: one full response, no continuation -- the
+            # counters only mean anything once the query has finished
+            return CypherPage(rows=self.profile_parsed(parsed).rows)
         from repro.graphdb.cypher.iterators import ExecutionContext
 
         task = QueryTask(self, parsed, ExecutionContext())
@@ -187,7 +323,11 @@ class CypherEngine:
         parsed = parse(query)
         if self.strict if strict is None else strict:
             self._check(parsed, query)
-        if not isinstance(parsed, ast.MatchQuery) or parsed.explain:
+        if (
+            not isinstance(parsed, ast.MatchQuery)
+            or parsed.explain
+            or parsed.profile
+        ):
             raise CypherRuntimeError(
                 "only MATCH queries can run as preemptable tasks"
             )

@@ -779,6 +779,73 @@ class LimitOp(PreemptableIterator):
         self._emitted = state["emitted"]
 
 
+class ProfiledOp(PreemptableIterator):
+    """Transparent instrumentation shim around one operator.
+
+    Counts ``next()`` calls and rows produced, and accumulates the
+    wall (clock) seconds spent inside the wrapped operator --
+    *cumulative* time, i.e. including the children it pulls from,
+    since each child is itself wrapped the per-operator self time
+    falls out as ``cumulative - sum(child cumulatives)`` at render
+    time.  Timing reads the injected clock, so a virtual-clock profile
+    (optionally charged via ``step_cost``) is deterministic.
+
+    The shim is also save/load-transparent: continuations nest the
+    wrapped operator's state beside the counters, so a PROFILE query
+    can still be sliced and resumed.
+    """
+
+    def __init__(
+        self,
+        inner: PreemptableIterator,
+        context: ExecutionContext,
+        kind: str,
+        detail: str = "",
+    ):
+        self.inner = inner
+        self.context = context
+        self.kind = kind
+        self.detail = detail
+        self.calls = 0
+        self.rows = 0
+        self.seconds = 0.0
+
+    def next(self) -> dict | None:
+        self.calls += 1
+        started = self.context.clock.now()
+        try:
+            row = self.inner.next()
+        finally:
+            self.seconds += max(0.0, self.context.clock.now() - started)
+        if row is not None:
+            self.rows += 1
+        return row
+
+    def save(self) -> dict:
+        return {
+            "inner": self.inner.save(),
+            "calls": self.calls,
+            "rows": self.rows,
+            "s": self.seconds,
+        }
+
+    def load(self, state: dict) -> None:
+        self.inner.load(state["inner"])
+        self.calls = state["calls"]
+        self.rows = state["rows"]
+        self.seconds = state["s"]
+
+    def stats(self) -> dict:
+        """JSON-safe counters for :class:`QueryProfile`."""
+        return {
+            "operator": self.kind,
+            "detail": self.detail,
+            "rows": self.rows,
+            "calls": self.calls,
+            "cumulative_s": self.seconds,
+        }
+
+
 __all__ = [
     "AggregateOp",
     "DistinctOp",
@@ -789,6 +856,7 @@ __all__ = [
     "LimitOp",
     "OrderByOp",
     "PreemptableIterator",
+    "ProfiledOp",
     "ProjectOp",
     "QuantumExhausted",
     "ScanOp",

@@ -58,6 +58,7 @@ KEYWORDS = frozenset(
         "MAX",
         "SUM",
         "EXPLAIN",
+        "PROFILE",
         "IS",
     }
 )

@@ -70,12 +70,18 @@ class _Parser:
 
     def parse(self) -> ast.Query:
         explain = self.accept(TokenType.KEYWORD, "EXPLAIN") is not None
+        profile = self.accept(TokenType.KEYWORD, "PROFILE") is not None
+        if explain and profile:
+            raise CypherSyntaxError("EXPLAIN and PROFILE cannot be combined")
         if self.check(TokenType.KEYWORD, "MATCH"):
             query = self.match_query()
             query.explain = explain
+            query.profile = profile
         elif self.check(TokenType.KEYWORD, "CREATE"):
             if explain:
                 raise CypherSyntaxError("EXPLAIN applies to MATCH queries only")
+            if profile:
+                raise CypherSyntaxError("PROFILE applies to MATCH queries only")
             query = self.create_query()
         else:
             raise CypherSyntaxError("query must start with MATCH or CREATE")

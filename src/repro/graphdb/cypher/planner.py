@@ -41,6 +41,7 @@ from repro.graphdb.cypher.iterators import (
     LimitOp,
     OrderByOp,
     PreemptableIterator,
+    ProfiledOp,
     ProjectOp,
     ScanOp,
     SingletonOp,
@@ -203,16 +204,49 @@ class PhysicalPlan:
     def build(
         self, graph: PropertyGraph, context: ExecutionContext
     ) -> PreemptableIterator:
-        return self._build(self.root, graph, context)
+        return self._build(self.root, graph, context, None)
+
+    def build_profiled(
+        self, graph: PropertyGraph, context: ExecutionContext
+    ) -> tuple[PreemptableIterator, list[ProfiledOp]]:
+        """Instantiate with every operator wrapped in a
+        :class:`~repro.graphdb.cypher.iterators.ProfiledOp`.
+
+        Returns the (wrapped) root and the wrappers in root-first
+        order, aligned with :meth:`explain_lines`, so the PROFILE
+        renderer can zip plan lines with runtime counters.
+        """
+        profilers: list[ProfiledOp] = []
+        root = self._build(self.root, graph, context, profilers)
+        profilers.reverse()  # built child-first; report root-first
+        return root, profilers
 
     def _build(
-        self, node: PlanNode, graph: PropertyGraph, context: ExecutionContext
+        self,
+        node: PlanNode,
+        graph: PropertyGraph,
+        context: ExecutionContext,
+        profilers: "list[ProfiledOp] | None",
     ) -> PreemptableIterator:
         child = (
-            self._build(node.child, graph, context)
+            self._build(node.child, graph, context, profilers)
             if node.child is not None
             else None
         )
+        op = self._instantiate(node, graph, context, child)
+        if profilers is None:
+            return op
+        wrapped = ProfiledOp(op, context, node.kind, node.detail)
+        profilers.append(wrapped)
+        return wrapped
+
+    def _instantiate(
+        self,
+        node: PlanNode,
+        graph: PropertyGraph,
+        context: ExecutionContext,
+        child: PreemptableIterator | None,
+    ) -> PreemptableIterator:
         p = node.params
         if node.kind == "Init":
             return SingletonOp()

@@ -71,6 +71,10 @@ def make_obs(clock: Clock | None = None, ring: int = 8192) -> Obs:
     return Obs(Tracer(clock, ring=ring), MetricsRegistry())
 
 
+# Re-exported after NO_OBS exists: repro.obs.profile lazily imports
+# NO_OBS from this package inside its export helpers.
+from repro.obs.profile import profile_dict, render_profile  # noqa: E402
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
@@ -86,4 +90,6 @@ __all__ = [
     "Tracer",
     "label_key",
     "make_obs",
+    "profile_dict",
+    "render_profile",
 ]

@@ -11,6 +11,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs.profile import annotate
+
 
 def load_trace(path: str | Path) -> list[dict]:
     """Parse a trace JSONL file into span records (export order kept)."""
@@ -23,18 +25,24 @@ def load_trace(path: str | Path) -> list[dict]:
 
 
 def summarize_dict(spans: list[dict]) -> dict:
-    """The aggregate summary as a JSON-safe dict (``--json`` output)."""
+    """The aggregate summary as a JSON-safe dict (``--json`` output).
+
+    ``self_s`` is exclusive time (duration minus direct children, see
+    :mod:`repro.obs.profile`) -- the column to rank hotspots by, since
+    ``total_s`` double-counts children into every ancestor.
+    """
     totals: dict[str, list[float]] = {}
-    for span in spans:
-        totals.setdefault(span["name"], []).append(
-            max(0.0, span["end"] - span["start"])
-        )
+    selfs: dict[str, float] = {}
+    for span in annotate(spans):
+        totals.setdefault(span["name"], []).append(span["total_s"])
+        selfs[span["name"]] = selfs.get(span["name"], 0.0) + span["self_s"]
     return {
         "spans": len(spans),
         "names": {
             name: {
                 "count": len(durations),
                 "total_s": sum(durations),
+                "self_s": selfs[name],
                 "mean_s": sum(durations) / len(durations),
                 "max_s": max(durations),
             }
@@ -44,25 +52,21 @@ def summarize_dict(spans: list[dict]) -> dict:
 
 
 def summarize(spans: list[dict]) -> str:
-    """Aggregate table: span name, count, total/mean/max duration."""
+    """Aggregate table: span name, count, total/self/mean/max duration."""
     if not spans:
         return "trace is empty"
-    totals: dict[str, list[float]] = {}
-    for span in spans:
-        totals.setdefault(span["name"], []).append(
-            max(0.0, span["end"] - span["start"])
-        )
-    width = max(len(name) for name in totals)
+    summary = summarize_dict(spans)["names"]
+    width = max(len(name) for name in summary)
     lines = [
-        f"{len(spans)} spans, {len(totals)} distinct names",
-        f"{'span':<{width}}  {'count':>6}  {'total_s':>9}  {'mean_s':>9}  {'max_s':>9}",
+        f"{len(spans)} spans, {len(summary)} distinct names",
+        f"{'span':<{width}}  {'count':>6}  {'total_s':>9}  {'self_s':>9}  "
+        f"{'mean_s':>9}  {'max_s':>9}",
     ]
-    for name in sorted(totals):
-        durations = totals[name]
-        total = sum(durations)
+    for name, entry in summary.items():
         lines.append(
-            f"{name:<{width}}  {len(durations):>6}  {total:>9.4f}  "
-            f"{total / len(durations):>9.4f}  {max(durations):>9.4f}"
+            f"{name:<{width}}  {entry['count']:>6}  {entry['total_s']:>9.4f}  "
+            f"{entry['self_s']:>9.4f}  {entry['mean_s']:>9.4f}  "
+            f"{entry['max_s']:>9.4f}"
         )
     return "\n".join(lines)
 

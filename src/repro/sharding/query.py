@@ -46,6 +46,7 @@ from repro.graphdb.cypher.executor import (
     CypherEngine,
     CypherPage,
     CypherRuntimeError,
+    QueryProfile,
     QueryTask,
     ResultRow,
     _contains_count,
@@ -203,9 +204,64 @@ class ShardedCypherEngine:
             # plan shapes agree across partitions (estimates may not);
             # partition 0's plan stands for the scatter
             return self._engines[0].explain_rows(parsed)
+        if parsed.profile:
+            return self._profile_parsed(parsed).rows
         if len(self._engines) == 1:
             return self._engines[0].execute(parsed)
         return self._scatter_match(parsed)
+
+    def profile(
+        self,
+        query: str,
+        strict: bool | None = None,
+        step_cost: float = 0.0,
+    ) -> QueryProfile:
+        """Profile a MATCH query across every partition.
+
+        N=1 delegates to the single engine.  Otherwise each partition
+        executes its localized query under per-operator instrumentation
+        (the per-partition operator trees land in
+        :attr:`QueryProfile.partitions`) and the gather side reports as
+        a synthetic ``Gather`` root whose self time is the merge /
+        sort / dedup work done here.
+        """
+        parsed = parse(query)
+        if self.strict if strict is None else strict:
+            self._check(parsed, query)
+        if not isinstance(parsed, ast.MatchQuery):
+            raise CypherRuntimeError("PROFILE applies to MATCH queries only")
+        return self._profile_parsed(parsed, step_cost=step_cost)
+
+    def _profile_parsed(
+        self, parsed: ast.MatchQuery, step_cost: float = 0.0
+    ) -> QueryProfile:
+        if len(self._engines) == 1:
+            return self._engines[0].profile_parsed(parsed, step_cost=step_cost)
+        subprofiles: dict[str, list[dict]] = {}
+
+        def profiled_execute(index, engine, local):
+            sub = engine.profile_parsed(local, step_cost=step_cost)
+            subprofiles[str(index)] = sub.operators
+            return sub.rows
+
+        clock = self._engines[0].clock
+        started = clock.now()
+        rows = self._scatter_match(parsed, execute=profiled_execute)
+        elapsed = max(0.0, clock.now() - started)
+        scatter_s = sum(
+            ops[0]["cumulative_s"] for ops in subprofiles.values() if ops
+        )
+        gather = {
+            "operator": "Gather",
+            "detail": f"{len(self._engines)} partitions",
+            "rows": len(rows),
+            "calls": len(self._engines),
+            "cumulative_s": elapsed,
+            "self_s": max(0.0, elapsed - scatter_s),
+        }
+        return QueryProfile(
+            rows=rows, operators=[gather], partitions=subprofiles
+        )
 
     def run_paginated(
         self,
@@ -236,6 +292,9 @@ class ShardedCypherEngine:
             return CypherPage(rows=[])
         if parsed.explain:
             return CypherPage(rows=self._engines[0].explain_rows(parsed))
+        if parsed.profile:
+            # like EXPLAIN: one full response, no continuation
+            return CypherPage(rows=self._profile_parsed(parsed).rows)
         if len(self._engines) == 1:
             return self._engines[0].run_paginated(
                 query, page_size, continuation=continuation, strict=False
@@ -280,7 +339,9 @@ class ShardedCypherEngine:
             )
         # SKIP/LIMIT are global: strip them from the per-partition scan
         # and account across partitions via continuation counters.
-        local = replace(parsed, skip=None, limit=None, explain=False)
+        local = replace(
+            parsed, skip=None, limit=None, explain=False, profile=False
+        )
         part = int(state["part"])
         cont = state["cont"]
         skipped = int(state["skipped"])
@@ -332,7 +393,19 @@ class ShardedCypherEngine:
             return router.partition_for_entity(first.label or "Node", name)
         return 0
 
-    def _scatter_match(self, query: ast.MatchQuery) -> list[ResultRow]:
+    def _scatter_match(
+        self, query: ast.MatchQuery, execute=None
+    ) -> list[ResultRow]:
+        """Scatter ``query`` and gather with canonical ordering.
+
+        ``execute(index, engine, local)`` runs the localized query on
+        one partition; the default is plain eager execution, and the
+        PROFILE path injects an instrumented executor that also
+        collects per-partition operator counters.
+        """
+        if execute is None:
+            def execute(_index, engine, local):
+                return engine.execute(local)
         has_aggregate = any(_contains_count(item.expr) for item in query.returns)
         local_limit = None
         if (
@@ -353,14 +426,26 @@ class ShardedCypherEngine:
                 order_by=[],
                 skip=None,
                 limit=None,
+                profile=False,
             )
-            per_partition = [engine.execute(local) for engine in self._engines]
+            per_partition = [
+                execute(index, engine, local)
+                for index, engine in enumerate(self._engines)
+            ]
             rows = self._merge_aggregates(specs, per_partition)
         else:
             local = replace(
-                query, distinct=False, order_by=[], skip=None, limit=local_limit
+                query,
+                distinct=False,
+                order_by=[],
+                skip=None,
+                limit=local_limit,
+                profile=False,
             )
-            per_partition = [engine.execute(local) for engine in self._engines]
+            per_partition = [
+                execute(index, engine, local)
+                for index, engine in enumerate(self._engines)
+            ]
             rows = [row for partial in per_partition for row in partial]
 
         for expr, ascending in reversed(query.order_by):

@@ -94,6 +94,7 @@ class ShardPartition:
         faults=None,
         obs: Obs = NO_OBS,
         fsync: bool = True,
+        clock: Clock | None = None,
     ):
         self.index = index
         participants = [
@@ -113,7 +114,7 @@ class ShardPartition:
             connector = self._build_connector(name)
             connector.obs = obs
             self.connectors[name] = connector
-        self.cypher = CypherEngine(self.database.graph, obs=obs)
+        self.cypher = CypherEngine(self.database.graph, obs=obs, clock=clock)
         self.stats = ShardWorkerStats(index)
 
     def _build_connector(self, name: str) -> Connector:
@@ -182,6 +183,7 @@ class ShardSet:
                 faults=faults if index == 0 else None,
                 obs=self.obs,
                 fsync=fsync,
+                clock=self.clock,
             )
             for index in range(partitions)
         ]

@@ -8,6 +8,10 @@ endpoints correspond one-to-one to the interactions the demo shows:
 ``GET  /api/stats``       knowledge-graph size summary
 ``GET  /metrics``         metrics snapshot (also ``/api/metrics``)
 ``GET  /trace``           ring-buffer span trace (also ``/api/trace``)
+``GET  /profile``         self-time hotspot profile of the ring buffer
+                          (also ``/api/profile``): per-name aggregates,
+                          unit costs and a top-K table -- see
+                          OBSERVABILITY.md "Profiling a run"
 ``GET  /health``          health-engine report (also ``/api/health``)
 ``POST /api/search``      body ``{"query": ...}``; keyword search + focus
 ``POST /api/cypher``      body ``{"query", "strict"?, "page_size"?,
@@ -15,7 +19,10 @@ endpoints correspond one-to-one to the interactions the demo shows:
                           errors return 400 + diagnostics); with
                           ``page_size`` the query runs preemptably
                           and the response carries an opaque
-                          ``cursor`` for the next page
+                          ``cursor`` for the next page; a
+                          ``PROFILE``-prefixed query (no page_size)
+                          adds a ``profile`` object with per-operator
+                          counters
 ``POST /api/expand``      body ``{"id": ...}``; double-click expansion
 ``POST /api/collapse``    body ``{"id": ...}``; double-click collapse
 ``POST /api/drag``        body ``{"id", "x", "y"}``; drag with lock
@@ -40,6 +47,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
@@ -60,6 +68,8 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("GET", "/api/metrics"),
     ("GET", "/trace"),
     ("GET", "/api/trace"),
+    ("GET", "/profile"),
+    ("GET", "/api/profile"),
     ("GET", "/health"),
     ("GET", "/api/health"),
     ("GET", "/feeds"),
@@ -216,6 +226,12 @@ class ExplorerAPI:
                 return 200, self.system.obs.metrics.snapshot()
             if method == "GET" and path in ("/trace", "/api/trace"):
                 return 200, {"spans": self.system.obs.tracer.export()}
+            if method == "GET" and path in ("/profile", "/api/profile"):
+                from repro.obs.profile import export_profile
+
+                return 200, export_profile(
+                    self.system.obs.tracer.export(), obs=self.system.obs
+                )
             if method == "GET" and path in ("/health", "/api/health"):
                 return 200, self.system.health_report()
             if method == "POST" and path == "/api/search":
@@ -249,6 +265,15 @@ class ExplorerAPI:
                             for row in page.rows
                         ],
                         "cursor": encode_cursor(query, page.continuation),
+                    }
+                if re.match(r"\s*PROFILE\b", query, re.IGNORECASE):
+                    prof = self.system.cypher_profile(query, strict=strict)
+                    return 200, {
+                        "rows": [
+                            {k: _jsonable(v) for k, v in row.values.items()}
+                            for row in prof.rows
+                        ],
+                        "profile": prof.to_dict(),
                     }
                 rows = self.system.cypher(query, strict=strict)
                 return 200, {

@@ -121,6 +121,40 @@ class TestCliDocstring:
         assert args.feed_command == "serve"
 
 
+class TestProfilingDoc:
+    def test_profile_subcommand_is_parseable(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["profile", "--from-trace", "t.jsonl", "--flame", "out.folded"]
+        )
+        assert args.flame == "out.folded"
+        args = parser.parse_args(
+            ["profile", "--from-trace", "t.jsonl", "--json", "--top", "5"]
+        )
+        assert args.json and args.top == 5
+
+    def test_observability_md_documents_profiling(self):
+        text = (REPO_ROOT / "OBSERVABILITY.md").read_text(encoding="utf-8")
+        for needle in (
+            "repro profile",
+            "--from-trace",
+            "--flame",
+            "self_s",
+            "GET /profile",
+            "PROFILE MATCH",
+            "perf_baseline.json",
+            "REPRO_UPDATE_PERF_BASELINE",
+        ):
+            assert needle in text, (
+                f"OBSERVABILITY.md never mentions {needle!r}"
+            )
+
+    def test_readme_shows_profile_quickstart(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "repro profile" in readme
+        assert "PROFILE MATCH" in readme
+
+
 class TestDisseminationDoc:
     def test_dissemination_md_exists(self):
         assert (REPO_ROOT / "DISSEMINATION.md").exists()
